@@ -1,0 +1,46 @@
+"""Shared benchmark fixtures.
+
+Datasets and indexes are cached in one session-scoped
+:class:`~repro.bench.harness.BenchContext`.  Set ``REPRO_BENCH_SCALE``
+(e.g. ``0.25``) to shrink every dataset proportionally for a quick run.
+
+Each benchmark prints the same rows/series its paper figure plots (via
+``capsys.disabled()`` so the tables appear even under output capture)
+and asserts the figure's qualitative *shape* — who wins, how trends
+move — never absolute numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from pathlib import Path
+
+from repro.bench.harness import BenchContext
+from repro.bench.reporting import format_table, save_csv, slugify
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx() -> BenchContext:
+    return BenchContext()
+
+
+@pytest.fixture()
+def show(capsys):
+    """Print a table through pytest's capture and save it as CSV."""
+
+    def _show(rows, title=""):
+        with capsys.disabled():
+            print()
+            print(format_table(rows, title))
+        if title:
+            save_csv(rows, RESULTS_DIR / f"{slugify(title)}.csv")
+
+    return _show
+
+
+def run_once(benchmark, fn):
+    """Run a whole sweep exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,60 @@
+"""Ablation A4 — landmark distance bounds in COM.
+
+COM's θ-skip uses the triangle inequality through the query; an
+ALT-style landmark index supplies strictly tighter (still exact) upper
+bounds, skipping more pairwise Dijkstras without changing any answer.
+The pre-computation (one full Dijkstra per landmark, here through the
+CCAM store so its I/O is honestly charged) pays off across a workload.
+"""
+
+from conftest import run_once
+
+from repro.network.landmarks import LandmarkIndex
+from repro.workloads.queries import WorkloadConfig, generate_diversified_queries
+
+CONFIG = WorkloadConfig(num_queries=10, num_keywords=3, k=6, lambda_=0.6,
+                        delta_max=2500.0, seed=4444)
+
+
+def test_ablation_landmark_bounds(ctx, benchmark, show):
+    def sweep():
+        db = ctx.database("NA")
+        index = ctx.index("NA", "sif")
+        landmarks = LandmarkIndex(db.ccam, db.network, num_landmarks=8)
+        queries = generate_diversified_queries(db, CONFIG)
+        rows = []
+        agg = {"plain_dijkstras": 0, "lm_dijkstras": 0,
+               "plain_thetas": 0, "lm_thetas": 0, "mismatches": 0}
+        for i, q in enumerate(queries):
+            plain = db.diversified_search(index, q, method="com")
+            boosted = db.diversified_search(index, q, method="com",
+                                            landmarks=landmarks)
+            agg["plain_dijkstras"] += plain.stats.pairwise_dijkstras
+            agg["lm_dijkstras"] += boosted.stats.pairwise_dijkstras
+            agg["plain_thetas"] += plain.stats.theta_evaluations
+            agg["lm_thetas"] += boosted.stats.theta_evaluations
+            if abs(plain.objective_value - boosted.objective_value) > 1e-9:
+                agg["mismatches"] += 1
+            rows.append(
+                {
+                    "query": i,
+                    "plain_dijkstras": plain.stats.pairwise_dijkstras,
+                    "landmark_dijkstras": boosted.stats.pairwise_dijkstras,
+                    "plain_thetas": plain.stats.theta_evaluations,
+                    "landmark_thetas": boosted.stats.theta_evaluations,
+                    "f_equal": abs(
+                        plain.objective_value - boosted.objective_value
+                    ) < 1e-9,
+                }
+            )
+        return rows, agg
+
+    rows, agg = run_once(benchmark, sweep)
+    show(rows, "Ablation A4: COM with landmark bounds (NA)")
+
+    # Exactness is untouched...
+    assert agg["mismatches"] == 0
+    # ...while the tighter bounds skip exact pair-distance (θ)
+    # evaluations, and never add Dijkstra runs.
+    assert agg["lm_thetas"] <= agg["plain_thetas"]
+    assert agg["lm_dijkstras"] <= agg["plain_dijkstras"]

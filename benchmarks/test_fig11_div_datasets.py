@@ -1,0 +1,40 @@
+"""Fig. 11 — diversified SK search, SEQ vs COM, on all four datasets.
+
+Expected shape (paper §5.2): COM significantly outperforms SEQ on every
+dataset because the diversity bounds prune non-promising objects and
+terminate the network expansion early.
+"""
+
+from conftest import run_once
+
+from repro.workloads.queries import WorkloadConfig
+
+DATASETS = ("NA", "SF", "TW", "SYN")
+CONFIG = WorkloadConfig(num_queries=8, num_keywords=3, k=6, lambda_=0.8,
+                        delta_max=2500.0, seed=1111)
+
+
+def test_fig11_div_datasets(ctx, benchmark, show):
+    def sweep():
+        rows = []
+        for dataset in DATASETS:
+            row = {"dataset": dataset}
+            for method in ("seq", "com"):
+                report = ctx.diversified_report(dataset, "sif", method, CONFIG)
+                row[f"{method.upper()}_ms"] = round(
+                    report.avg_response_time * 1e3, 1
+                )
+                row[f"{method.upper()}_io"] = round(report.avg_io, 1)
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    show(rows, "Fig 11: diversified search SEQ vs COM per dataset")
+
+    for row in rows:
+        assert row["COM_ms"] <= row["SEQ_ms"] * 1.05, row
+        assert row["COM_io"] <= row["SEQ_io"] * 1.05, row
+    # COM wins clearly in aggregate (paper: a multiple, not a margin).
+    seq_total = sum(r["SEQ_ms"] for r in rows)
+    com_total = sum(r["COM_ms"] for r in rows)
+    assert com_total * 1.5 < seq_total

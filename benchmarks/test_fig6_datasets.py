@@ -1,0 +1,88 @@
+"""Fig. 6 — SK search across the four datasets and four indexes.
+
+(a) query response time, (b) index construction time, (c) index size.
+
+Expected shapes (paper §5.1): IR is the slowest by a large factor
+(network-oblivious, pays per-candidate verification); IF improves on it;
+SIF and SIF-P improve on IF via signature pruning.  SIF-P has the
+longest construction time (edge partitioning); SIF/SIF-P sizes are only
+slightly above IF (signatures are compact).
+"""
+
+from conftest import run_once
+
+from repro.workloads.queries import WorkloadConfig
+
+DATASETS = ("NA", "SF", "TW", "SYN")
+INDEXES = ("ir", "if", "sif", "sif-p")
+CONFIG = WorkloadConfig(num_queries=25, num_keywords=3, seed=606)
+
+
+def test_fig6a_response_time(ctx, benchmark, show):
+    def sweep():
+        rows = []
+        for dataset in DATASETS:
+            row = {"dataset": dataset}
+            for kind in INDEXES:
+                report = ctx.sk_report(dataset, kind, CONFIG)
+                row[kind.upper()] = round(report.avg_response_time * 1e3, 2)
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    show(rows, "Fig 6(a): SK response time (ms) per dataset")
+
+    for row in rows:
+        # IR is the outlier; the signature indexes beat the plain
+        # inverted file on every dataset.
+        assert row["IR"] > row["SIF"], row
+        assert row["SIF"] <= row["IF"] * 1.05, row
+        assert row["SIF-P"] <= row["IF"] * 1.05, row
+    # Aggregate: IR is clearly the slowest overall (paper: ~4x).
+    total = {k: sum(r[k.upper()] for r in rows) for k in INDEXES}
+    assert total["ir"] > 1.5 * total["sif"]
+
+
+def test_fig6b_construction_time(ctx, benchmark, show):
+    def sweep():
+        rows = []
+        for dataset in DATASETS:
+            row = {"dataset": dataset}
+            for kind in INDEXES:
+                index = ctx.index(dataset, kind)
+                row[kind.upper()] = round(index.build_seconds, 3)
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    show(rows, "Fig 6(b): index construction time (s)")
+
+    for row in rows:
+        # SIF-P pays for partitioning: the longest build among the
+        # inverted-file family.  (SIF builds an IF plus signatures, so
+        # it is logically >= IF, but single-run wall-clock noise makes
+        # that comparison flaky; the partitioning cost is the robust
+        # signal.)
+        assert row["SIF-P"] >= row["SIF"], row
+        assert row["SIF"] >= 0.5 * row["IF"], row
+
+
+def test_fig6c_index_size(ctx, benchmark, show):
+    def sweep():
+        rows = []
+        for dataset in DATASETS:
+            row = {"dataset": dataset}
+            for kind in INDEXES:
+                index = ctx.index(dataset, kind)
+                row[kind.upper()] = round(index.size_bytes() / (1 << 20), 2)
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    show(rows, "Fig 6(c): index size (MiB)")
+
+    for row in rows:
+        # Signatures are compact: SIF within 15 % of IF, SIF-P within
+        # 20 % (paper: "only take slightly more space").
+        assert row["IF"] <= row["SIF"] <= row["IF"] * 1.15, row
+        assert row["SIF-P"] <= row["IF"] * 1.20, row

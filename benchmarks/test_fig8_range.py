@@ -1,0 +1,66 @@
+"""Fig. 8 — SK search vs the maximal search distance δmax.
+
+(a) response time of IF / SIF / SIF-P on NA as δmax grows 250 → 1500:
+IF is much more sensitive (false hits grow with the region; IF cannot
+avoid their I/O).  (b) the number of candidate objects on all four
+datasets grows with δmax.
+"""
+
+from conftest import run_once
+
+from repro.workloads.queries import WorkloadConfig
+
+DELTAS = (250, 500, 750, 1000, 1250, 1500)
+INDEXES = ("if", "sif", "sif-p")
+DATASETS = ("NA", "SF", "TW", "SYN")
+
+
+def test_fig8a_response_time(ctx, benchmark, show):
+    def sweep():
+        rows = []
+        for delta in DELTAS:
+            config = WorkloadConfig(
+                num_queries=25, num_keywords=3, delta_max=float(delta), seed=808
+            )
+            row = {"delta_max": delta}
+            for kind in INDEXES:
+                report = ctx.sk_report("NA", kind, config)
+                row[kind.upper()] = round(report.avg_response_time * 1e3, 2)
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    show(rows, "Fig 8(a): SK response time (ms) vs delta_max on NA")
+
+    for row in rows:
+        assert row["SIF"] <= row["IF"] * 1.05, row
+    # IF's growth across the sweep outpaces SIF's (false-hit I/O).
+    if_growth = rows[-1]["IF"] - rows[0]["IF"]
+    sif_growth = rows[-1]["SIF"] - rows[0]["SIF"]
+    assert if_growth > sif_growth
+    # Everything degrades with the search radius.
+    assert rows[-1]["SIF"] > rows[0]["SIF"]
+
+
+def test_fig8b_candidates(ctx, benchmark, show):
+    def sweep():
+        rows = []
+        for delta in DELTAS:
+            config = WorkloadConfig(
+                num_queries=25, num_keywords=3, delta_max=float(delta), seed=808
+            )
+            row = {"delta_max": delta}
+            for dataset in DATASETS:
+                report = ctx.sk_report(dataset, "sif", config)
+                row[dataset] = round(report.avg_candidates, 1)
+            rows.append(row)
+        return rows
+
+    rows = run_once(benchmark, sweep)
+    show(rows, "Fig 8(b): candidate objects vs delta_max")
+
+    for dataset in DATASETS:
+        assert rows[-1][dataset] > rows[0][dataset], dataset
+        # Monotone up to small noise.
+        values = [r[dataset] for r in rows]
+        assert all(b >= a * 0.8 for a, b in zip(values, values[1:])), dataset

@@ -1,0 +1,83 @@
+"""Diversified spatial keyword search on road networks.
+
+A from-scratch reproduction of "Diversified Spatial Keyword Search On
+Road Networks" (EDBT 2014): a disk-resident road-network substrate
+(CCAM layout, B+-trees, R-trees over a simulated buffer-managed disk),
+the signature-based inverted indexes IR / IF / SIF / SIF-P / SIF-G, the
+incremental-network-expansion SK search, and the SEQ / COM diversified
+search algorithms.
+
+Quickstart::
+
+    from repro import Database, DiversifiedSKQuery, datasets, workloads
+
+    db = datasets.build_dataset("NA", scale=0.25)
+    index = db.build_index("sif-p")
+    query = workloads.generate_diversified_queries(
+        db, workloads.WorkloadConfig(num_queries=1)
+    )[0]
+    result = db.diversified_search(index, query, method="com")
+    for item in result:
+        print(item.object.object_id, round(item.distance, 1))
+"""
+
+from . import datasets, workloads
+from .core.database import INDEX_KINDS, Database
+from .core.diversified_search import com_search, seq_search
+from .core.ine import INEExpansion
+from .core.knn import SKkNNQuery, SKkNNResult, knn_search
+from .core.objective import DiversificationObjective
+from .core.queries import (
+    DiversifiedResult,
+    DiversifiedSKQuery,
+    QueryStats,
+    ResultItem,
+    SKQuery,
+    SKResult,
+)
+from .errors import (
+    DatasetError,
+    GraphError,
+    QueryError,
+    ReproError,
+    StorageError,
+)
+from .network.graph import Edge, NetworkPosition, Node, RoadNetwork
+from .network.objects import ObjectStore, SpatioTextualObject
+from .spatial.geometry import MBR, Point
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "datasets",
+    "workloads",
+    "INDEX_KINDS",
+    "Database",
+    "com_search",
+    "seq_search",
+    "INEExpansion",
+    "SKkNNQuery",
+    "SKkNNResult",
+    "knn_search",
+    "DiversificationObjective",
+    "DiversifiedResult",
+    "DiversifiedSKQuery",
+    "QueryStats",
+    "ResultItem",
+    "SKQuery",
+    "SKResult",
+    "DatasetError",
+    "GraphError",
+    "QueryError",
+    "ReproError",
+    "StorageError",
+    "Edge",
+    "NetworkPosition",
+    "Node",
+    "RoadNetwork",
+    "ObjectStore",
+    "SpatioTextualObject",
+    "MBR",
+    "Point",
+    "__version__",
+]

@@ -1,0 +1,156 @@
+"""Command-line interface: ``python -m repro <command> ...``.
+
+Commands
+--------
+``info``      build a dataset profile and print its Table-2 statistics
+``generate``  build a dataset profile and save it as a JSON snapshot
+``sk``        run an SK workload against one index and print the report
+``diversify`` run a diversified workload (SEQ and COM) and print both
+``compare``   run one workload against every index kind (mini Fig. 6)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .bench.reporting import print_table
+from .core.database import INDEX_KINDS, Database
+from .datasets.catalog import PROFILES, build_dataset
+from .datasets.io import save_dataset
+from .workloads.queries import (
+    WorkloadConfig,
+    generate_diversified_queries,
+    generate_sk_queries,
+)
+from .workloads.runner import run_diversified_workload, run_sk_workload
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Diversified spatial keyword search on road networks "
+        "(EDBT 2014 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add_dataset_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "profile", choices=sorted(PROFILES), help="dataset profile"
+        )
+        p.add_argument("--scale", type=float, default=1.0,
+                       help="proportional dataset scale (default 1.0)")
+        p.add_argument("--seed", type=int, default=None,
+                       help="override the profile's generator seed")
+
+    def add_workload_args(p: argparse.ArgumentParser) -> None:
+        p.add_argument("--queries", type=int, default=50)
+        p.add_argument("--keywords", type=int, default=3, metavar="L")
+        p.add_argument("--delta-max", type=float, default=None)
+        p.add_argument("--workload-seed", type=int, default=101)
+
+    p = sub.add_parser("info", help="dataset statistics")
+    add_dataset_args(p)
+
+    p = sub.add_parser("generate", help="save a dataset snapshot")
+    add_dataset_args(p)
+    p.add_argument("--out", required=True, help="output JSON path")
+
+    p = sub.add_parser("sk", help="SK workload against one index")
+    add_dataset_args(p)
+    add_workload_args(p)
+    p.add_argument("--index", choices=INDEX_KINDS, default="sif")
+
+    p = sub.add_parser("diversify", help="diversified workload, SEQ and COM")
+    add_dataset_args(p)
+    add_workload_args(p)
+    p.add_argument("--index", choices=INDEX_KINDS, default="sif")
+    p.add_argument("--k", type=int, default=6)
+    p.add_argument("--lambda", dest="lambda_", type=float, default=0.8)
+
+    p = sub.add_parser("compare", help="one workload, every index kind")
+    add_dataset_args(p)
+    add_workload_args(p)
+
+    return parser
+
+
+def _build_db(args) -> Database:
+    overrides = {}
+    if args.seed is not None:
+        overrides["seed"] = args.seed
+    print(f"Building {args.profile} (scale {args.scale})...", file=sys.stderr)
+    return build_dataset(args.profile, scale=args.scale, **overrides)
+
+
+def _config(args, **extra) -> WorkloadConfig:
+    return WorkloadConfig(
+        num_queries=args.queries,
+        num_keywords=args.keywords,
+        delta_max=args.delta_max,
+        seed=args.workload_seed,
+        **extra,
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+
+    if args.command == "info":
+        db = _build_db(args)
+        print_table([db.dataset_statistics()], f"Dataset {args.profile}")
+        return 0
+
+    if args.command == "generate":
+        db = _build_db(args)
+        save_dataset(db.store, args.out)
+        print(f"Wrote {args.out}")
+        return 0
+
+    if args.command == "sk":
+        db = _build_db(args)
+        index = db.build_index(args.index)
+        queries = generate_sk_queries(db, _config(args))
+        report = run_sk_workload(db, index, queries)
+        print_table([report.row()], f"SK workload on {args.profile}")
+        return 0
+
+    if args.command == "diversify":
+        db = _build_db(args)
+        index = db.build_index(args.index)
+        queries = generate_diversified_queries(
+            db, _config(args, k=args.k, lambda_=args.lambda_)
+        )
+        rows = []
+        for method in ("seq", "com"):
+            index.counters.reset()
+            rows.append(
+                run_diversified_workload(db, index, queries, method=method).row()
+            )
+        print_table(rows, f"Diversified workload on {args.profile} "
+                          f"(k={args.k}, lambda={args.lambda_})")
+        return 0
+
+    if args.command == "compare":
+        db = _build_db(args)
+        queries = generate_sk_queries(db, _config(args))
+        rows = []
+        for kind in ("ir", "if", "sif", "sif-p"):
+            index = db.build_index(kind)
+            index.counters.reset()
+            report = run_sk_workload(db, index, queries)
+            row = report.row()
+            row["build_s"] = round(index.build_seconds, 2)
+            row["size_KiB"] = index.size_bytes() // 1024
+            rows.append(row)
+        print_table(rows, f"Index comparison on {args.profile}")
+        return 0
+
+    return 1  # pragma: no cover — argparse enforces the choices
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

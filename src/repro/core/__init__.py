@@ -1,0 +1,41 @@
+"""Core algorithms: SK search, diversification, and the Database facade."""
+
+from .analysis import CostModel
+from .core_pairs import CorePair, CorePairMaintainer
+from .database import INDEX_KINDS, Database
+from .diversified_search import com_search, seq_search
+from .diversify import greedy_diversify
+from .ine import ExpansionStats, INEExpansion
+from .knn import SKkNNQuery, SKkNNResult, knn_search
+from .objective import DiversificationObjective
+from .queries import (
+    DiversifiedResult,
+    DiversifiedSKQuery,
+    QueryStats,
+    ResultItem,
+    SKQuery,
+    SKResult,
+)
+
+__all__ = [
+    "CostModel",
+    "CorePair",
+    "CorePairMaintainer",
+    "INDEX_KINDS",
+    "Database",
+    "com_search",
+    "seq_search",
+    "greedy_diversify",
+    "SKkNNQuery",
+    "SKkNNResult",
+    "knn_search",
+    "ExpansionStats",
+    "INEExpansion",
+    "DiversificationObjective",
+    "DiversifiedResult",
+    "DiversifiedSKQuery",
+    "QueryStats",
+    "ResultItem",
+    "SKQuery",
+    "SKResult",
+]

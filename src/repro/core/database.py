@@ -1,0 +1,286 @@
+"""The :class:`Database` facade — one object tying the system together.
+
+A database owns the road network, its CCAM disk layout, the network
+R-tree, the object store and the shared disk manager (buffer pool +
+I/O statistics).  Object indexes are built against it by name, and the
+query entry points (:meth:`Database.sk_search`,
+:meth:`Database.diversified_search`) wrap the core algorithms with
+timing and I/O measurement.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Iterable, Optional
+
+from ..errors import QueryError, ReproError
+from ..index.base import ObjectIndex
+from ..index.edge_store import EdgeStoreIndex
+from ..index.inverted_file import InvertedFileIndex
+from ..index.inverted_rtree import InvertedRTreeIndex
+from ..index.sif import SIFIndex
+from ..index.sif_g import SIFGIndex
+from ..index.sif_p import SIFPIndex
+from ..network.ccam import CCAMStore
+from ..network.distance import PairwiseDistanceComputer
+from ..network.graph import NetworkPosition, RoadNetwork
+from ..network.objects import ObjectStore, SpatioTextualObject, build_edge_rtree, snap_point_to_edge
+from ..spatial.geometry import Point
+from ..spatial.kdtree import KDTreePartition
+from ..spatial.rtree import RTree
+from ..spatial.zorder import ZOrderCurve
+from ..storage.pagefile import DiskManager
+from .diversified_search import com_search, seq_search
+from .ine import INEExpansion
+from .queries import DiversifiedResult, DiversifiedSKQuery, QueryStats, SKQuery, SKResult
+
+__all__ = ["Database", "INDEX_KINDS"]
+
+#: Registry of index kinds accepted by :meth:`Database.build_index`.
+INDEX_KINDS = ("ccam", "ir", "if", "sif", "sif-p", "sif-g")
+
+
+class Database:
+    """A spatio-textual road-network database instance."""
+
+    def __init__(
+        self,
+        network: RoadNetwork,
+        buffer_pages: Optional[int] = None,
+        buffer_fraction: float = 0.02,
+        curve: Optional[ZOrderCurve] = None,
+    ) -> None:
+        """Create the disk-resident network structures.
+
+        ``buffer_pages`` pins the LRU buffer size; when ``None`` the
+        buffer is sized at ``buffer_fraction`` of the dataset (the
+        paper uses 2 % of the network dataset size) once
+        :meth:`freeze` is called.
+        """
+        self.network = network
+        self.curve = curve or ZOrderCurve()
+        self.disk = DiskManager(buffer_pages=buffer_pages or 1 << 30)
+        self._explicit_buffer = buffer_pages
+        self._buffer_fraction = buffer_fraction
+        self.ccam = CCAMStore(network, self.disk, curve=self.curve)
+        rtree_file = self.disk.create_file("network.rtree", category="rtree")
+        self.edge_rtree: RTree = build_edge_rtree(network, rtree_file)
+        self.store = ObjectStore(network)
+        self._kd_partition: Optional[KDTreePartition] = None
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def add_object(
+        self, position: NetworkPosition, keywords: Iterable[str]
+    ) -> SpatioTextualObject:
+        """Add an object at a known network position."""
+        self._ensure_not_frozen()
+        return self.store.add(position, keywords)
+
+    def add_object_at_point(
+        self, point: Point, keywords: Iterable[str]
+    ) -> SpatioTextualObject:
+        """Add an object at a raw 2-d point, snapped to the closest edge."""
+        self._ensure_not_frozen()
+        position = snap_point_to_edge(self.network, self.edge_rtree, point)
+        return self.store.add(position, keywords)
+
+    def freeze(self) -> None:
+        """Finish loading: sort edge lists and apply the buffer policy."""
+        self.store.freeze()
+        self._frozen = True
+        if self._explicit_buffer is None:
+            dataset_pages = sum(f.num_pages for f in self.disk.files())
+            self.disk.resize_buffer(
+                max(8, int(dataset_pages * self._buffer_fraction))
+            )
+        else:
+            self.disk.resize_buffer(self._explicit_buffer)
+
+    def insert_object(
+        self,
+        position: NetworkPosition,
+        keywords: Iterable[str],
+        indexes: Iterable[ObjectIndex] = (),
+    ) -> SpatioTextualObject:
+        """Dynamic insertion into a *live* (frozen) database.
+
+        The object joins the store in visiting order and its postings
+        and signature bits are pushed into every index in ``indexes``.
+        Only IF and SIF support dynamic maintenance; SIF-P's partitions
+        and IR's packed R-trees are rebuilt offline in this
+        reproduction, as in the paper's static setting.
+        """
+        self._ensure_frozen()
+        obj = self.store.add(position, keywords)
+        self.store.resort_edge(position.edge_id)
+        for index in indexes:
+            insert = getattr(index, "insert_object", None)
+            if insert is None:
+                raise QueryError(
+                    f"index {index.name} does not support dynamic insertion"
+                )
+            insert(obj)
+        return obj
+
+    def _ensure_not_frozen(self) -> None:
+        if self._frozen:
+            raise ReproError("database is frozen; no more objects can be added")
+
+    def _ensure_frozen(self) -> None:
+        if not self._frozen:
+            raise ReproError("call freeze() before building indexes or querying")
+
+    # ------------------------------------------------------------------
+    # Index construction
+    # ------------------------------------------------------------------
+    @property
+    def kd_partition(self) -> KDTreePartition:
+        """KD-tree over edge centres, shared by all signature files."""
+        if self._kd_partition is None:
+            centers = [e.center for e in self.network.edges()]
+            self._kd_partition = KDTreePartition(centers)
+        return self._kd_partition
+
+    def build_index(self, kind: str, **kwargs) -> ObjectIndex:
+        """Build an object index: one of ``INDEX_KINDS``.
+
+        Extra keyword arguments are forwarded to the index constructor
+        (e.g. ``max_cuts=3`` or ``log_builder=...`` for ``"sif-p"``,
+        ``top_terms=25`` for ``"sif-g"``).
+        """
+        self._ensure_frozen()
+        kind = kind.lower()
+        if kind == "ccam":
+            return EdgeStoreIndex(self.store, self.disk, **kwargs)
+        if kind == "ir":
+            return InvertedRTreeIndex(self.store, self.disk, **kwargs)
+        if kind == "if":
+            return InvertedFileIndex(self.store, self.disk, curve=self.curve, **kwargs)
+        if kind == "sif":
+            return SIFIndex(
+                self.store,
+                self.disk,
+                curve=self.curve,
+                kd_partition=self.kd_partition,
+                **kwargs,
+            )
+        if kind == "sif-p":
+            return SIFPIndex(
+                self.store,
+                self.disk,
+                curve=self.curve,
+                kd_partition=self.kd_partition,
+                **kwargs,
+            )
+        if kind == "sif-g":
+            return SIFGIndex(
+                self.store,
+                self.disk,
+                kd_partition=self.kd_partition,
+                **kwargs,
+            )
+        raise QueryError(f"unknown index kind {kind!r}; expected one of {INDEX_KINDS}")
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def sk_search(self, index: ObjectIndex, query: SKQuery) -> SKResult:
+        """Algorithm 3: boolean SK range search on the road network."""
+        self._ensure_frozen()
+        before = self.disk.stats.snapshot()
+        counters_before = (
+            index.counters.objects_loaded,
+            index.counters.false_hit_objects,
+        )
+        start = time.perf_counter()
+        expansion = INEExpansion(
+            self.ccam, self.network, index, query.position, query.terms,
+            query.delta_max,
+        )
+        items = expansion.run_to_completion()
+        wall = time.perf_counter() - start
+        after = self.disk.stats.snapshot()
+        stats = QueryStats(
+            wall_seconds=wall,
+            nodes_accessed=expansion.stats.nodes_accessed,
+            edges_accessed=expansion.stats.edges_accessed,
+            objects_loaded=index.counters.objects_loaded - counters_before[0],
+            false_hit_objects=index.counters.false_hit_objects - counters_before[1],
+            candidates=len(items),
+            io=after - before,
+        )
+        return SKResult(items, stats)
+
+    def sk_knn(self, index: ObjectIndex, query) -> "SKkNNResult":
+        """Boolean SK k-nearest-neighbour search (see repro.core.knn)."""
+        from .knn import knn_search
+
+        self._ensure_frozen()
+        before = self.disk.stats.snapshot()
+        result = knn_search(self.ccam, self.network, index, query)
+        result.stats.io = self.disk.stats.snapshot() - before
+        return result
+
+    def diversified_search(
+        self,
+        index: ObjectIndex,
+        query: DiversifiedSKQuery,
+        method: str = "com",
+        enable_pruning: bool = True,
+        landmarks=None,
+    ) -> DiversifiedResult:
+        """Diversified SK search via ``"seq"`` or ``"com"``.
+
+        ``landmarks`` (a :class:`repro.network.landmarks.LandmarkIndex`)
+        tightens COM's pruning bounds; ignored by SEQ."""
+        self._ensure_frozen()
+        method = method.lower()
+        if method not in ("seq", "com"):
+            raise QueryError("method must be 'seq' or 'com'")
+        before = self.disk.stats.snapshot()
+        counters_before = (
+            index.counters.objects_loaded,
+            index.counters.false_hit_objects,
+        )
+        pairwise = PairwiseDistanceComputer(
+            self.ccam, self.network, cutoff=2.0 * query.delta_max * 1.001
+        )
+        if method == "seq":
+            result = seq_search(
+                self.ccam, self.network, index, query, pairwise=pairwise
+            )
+        else:
+            result = com_search(
+                self.ccam,
+                self.network,
+                index,
+                query,
+                pairwise=pairwise,
+                enable_pruning=enable_pruning,
+                landmarks=landmarks,
+            )
+        after = self.disk.stats.snapshot()
+        result.stats.io = after - before
+        result.stats.objects_loaded = (
+            index.counters.objects_loaded - counters_before[0]
+        )
+        result.stats.false_hit_objects = (
+            index.counters.false_hit_objects - counters_before[1]
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    def dataset_statistics(self) -> Dict[str, float]:
+        """Table-2-style statistics of the loaded dataset."""
+        return {
+            "num_objects": len(self.store),
+            "vocabulary_size": len(self.store.vocabulary()),
+            "avg_keywords": round(self.store.average_keywords_per_object(), 2),
+            "num_nodes": self.network.num_nodes,
+            "num_edges": self.network.num_edges,
+        }

@@ -1,0 +1,173 @@
+"""Diversified SK search: the SEQ baseline and the incremental COM
+algorithm (paper §4.1 and Algorithm 6).
+
+* **SEQ** retrieves *every* object satisfying the spatial keyword
+  constraint (Algorithm 3 run to completion), computes all pairwise
+  network distances and feeds the greedy Algorithm 1.  Its cost is
+  dominated by loading all candidates and the O(n²) pairwise distance
+  computations.
+
+* **COM** consumes the expansion stream incrementally, maintains the
+  core pairs and θ_T (Algorithm 5), and uses the §4.3 diversity bounds
+  to (a) prune visited objects that can never become core and (b)
+  terminate the network expansion as soon as no unvisited object can
+  contribute — closing the INE generator mid-flight.
+"""
+
+from __future__ import annotations
+
+import time
+from itertools import islice
+from typing import Callable, List, Optional
+
+from ..index.base import ObjectIndex
+from ..network.distance import AdjacencyProvider, PairwiseDistanceComputer
+from ..network.graph import RoadNetwork
+from .core_pairs import CorePairMaintainer
+from .diversify import greedy_diversify
+from .ine import INEExpansion
+from .objective import DiversificationObjective
+from .queries import DiversifiedResult, DiversifiedSKQuery, QueryStats, ResultItem
+
+__all__ = ["seq_search", "com_search"]
+
+
+def _make_pair_distance(
+    computer: PairwiseDistanceComputer,
+) -> Callable[[ResultItem, ResultItem], float]:
+    def pair_distance(a: ResultItem, b: ResultItem) -> float:
+        return computer.distance(a.object.position, b.object.position)
+
+    return pair_distance
+
+
+def _finalise(
+    items: List[ResultItem],
+    objective: DiversificationObjective,
+    computer: PairwiseDistanceComputer,
+    method: str,
+    stats: QueryStats,
+) -> DiversifiedResult:
+    dists = [it.distance for it in items]
+
+    def pd(i: int, j: int) -> float:
+        return computer.distance(items[i].object.position, items[j].object.position)
+
+    value = objective.objective(dists, pd)
+    return DiversifiedResult(items, value, method, stats)
+
+
+def seq_search(
+    provider: AdjacencyProvider,
+    network: RoadNetwork,
+    index: ObjectIndex,
+    query: DiversifiedSKQuery,
+    pairwise: Optional[PairwiseDistanceComputer] = None,
+) -> DiversifiedResult:
+    """The straightforward SEQ implementation (paper §4.1)."""
+    start = time.perf_counter()
+    expansion = INEExpansion(
+        provider, network, index, query.position, query.terms, query.delta_max
+    )
+    candidates = expansion.run_to_completion()
+    objective = DiversificationObjective(query.lambda_, query.delta_max)
+    computer = pairwise or PairwiseDistanceComputer(
+        provider, network, cutoff=2.0 * query.delta_max * 1.001
+    )
+    chosen = greedy_diversify(
+        candidates, query.k, objective, _make_pair_distance(computer)
+    )
+    stats = QueryStats(
+        wall_seconds=time.perf_counter() - start,
+        nodes_accessed=expansion.stats.nodes_accessed,
+        edges_accessed=expansion.stats.edges_accessed,
+        candidates=len(candidates),
+        pairwise_dijkstras=computer.dijkstra_runs,
+    )
+    return _finalise(chosen, objective, computer, "SEQ", stats)
+
+
+def com_search(
+    provider: AdjacencyProvider,
+    network: RoadNetwork,
+    index: ObjectIndex,
+    query: DiversifiedSKQuery,
+    pairwise: Optional[PairwiseDistanceComputer] = None,
+    enable_pruning: bool = True,
+    landmarks=None,
+) -> DiversifiedResult:
+    """Algorithm 6: incremental diversified SK search.
+
+    ``enable_pruning=False`` disables the diversity bounds (ablation
+    A2): the stream is still processed incrementally but runs to
+    exhaustion, isolating the benefit of the §4.3 pruning.
+
+    ``landmarks`` optionally supplies a
+    :class:`repro.network.landmarks.LandmarkIndex`; its exact distance
+    upper bounds tighten the θ-skip and avoid further pairwise
+    Dijkstras without changing any answer (ablation A4).
+    """
+    start = time.perf_counter()
+    expansion = INEExpansion(
+        provider, network, index, query.position, query.terms, query.delta_max
+    )
+    objective = DiversificationObjective(query.lambda_, query.delta_max)
+    computer = pairwise or PairwiseDistanceComputer(
+        provider, network, cutoff=2.0 * query.delta_max * 1.001
+    )
+    pair_ub = None
+    if landmarks is not None:
+        def pair_ub(a, b):
+            return landmarks.upper_bound(a.object.position, b.object.position)
+    maintainer = CorePairMaintainer(
+        query.k,
+        objective,
+        _make_pair_distance(computer),
+        pair_distance_upper_bound=pair_ub,
+    )
+
+    stream = expansion.run()
+    first = list(islice(stream, query.k))
+    maintainer.bootstrap(first)
+    candidates = len(first)
+    terminated_early = False
+
+    for item in stream:
+        candidates += 1
+        maintainer.add(item)
+        if not enable_pruning:
+            continue
+        theta_t = maintainer.theta_t
+        if theta_t == float("-inf"):
+            continue
+        gamma = item.distance  # objects arrive in distance order
+        # Bound for any pair of two unvisited objects (Alg. 6 lines 4-7).
+        if objective.theta_ub_unvisited(gamma) >= theta_t:
+            continue
+        can_terminate = True
+        for o_i in maintainer.active_objects():
+            oid = o_i.object.object_id
+            if objective.theta_ub_visited(o_i.distance, gamma) >= theta_t:
+                # o_i may still pair with an unvisited object: keep
+                # expanding (Alg. 6 lines 11-12).
+                can_terminate = False
+                break
+            if maintainer.best_theta(oid) < theta_t and not maintainer.is_core(oid):
+                # o_i can pair with nothing: drop it (Alg. 6 lines 13-14).
+                maintainer.prune(oid)
+        if can_terminate:
+            stream.close()  # terminate the network expansion (line 16)
+            terminated_early = True
+            break
+
+    chosen = maintainer.core_objects()[: query.k]
+    stats = QueryStats(
+        wall_seconds=time.perf_counter() - start,
+        nodes_accessed=expansion.stats.nodes_accessed,
+        edges_accessed=expansion.stats.edges_accessed,
+        candidates=candidates,
+        pairwise_dijkstras=computer.dijkstra_runs,
+        theta_evaluations=maintainer.theta_evaluations,
+        expansion_terminated_early=terminated_early,
+    )
+    return _finalise(chosen, objective, computer, "COM", stats)

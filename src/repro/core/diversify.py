@@ -1,0 +1,78 @@
+"""Greedy max-sum diversification (paper Algorithm 1, §2.3).
+
+Maximising the max-sum objective is NP-hard; the greedy algorithm of
+Gollapudi & Sharma repeatedly picks the remaining pair with the largest
+diversification distance θ and achieves a 2-approximation.  It assumes
+the candidate objects and their pairwise distances are available — the
+SEQ baseline feeds it everything Algorithm 3 returns.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence, Tuple
+
+from .objective import DiversificationObjective
+from .queries import ResultItem
+
+__all__ = ["greedy_diversify"]
+
+PairDistance = Callable[[ResultItem, ResultItem], float]
+
+
+def greedy_diversify(
+    candidates: Sequence[ResultItem],
+    k: int,
+    objective: DiversificationObjective,
+    pair_distance: PairDistance,
+) -> List[ResultItem]:
+    """Select ``k`` diversified objects from ``candidates``.
+
+    Each iteration picks the unused pair ``(u, v)`` maximising
+    ``θ(u, v)`` (Algorithm 1 lines 2-4); with odd ``k`` one more object
+    is appended (the paper picks arbitrarily; we take the closest
+    remaining object for determinism).  Fewer than ``k`` candidates are
+    returned as-is, ordered by distance.
+    """
+    if k <= 0:
+        return []
+    pool = sorted(candidates, key=lambda it: (it.distance, it.object.object_id))
+    if len(pool) <= k:
+        return pool
+
+    theta_cache: Dict[Tuple[int, int], float] = {}
+
+    def theta_of(i: int, j: int) -> float:
+        key = (i, j) if i < j else (j, i)
+        value = theta_cache.get(key)
+        if value is None:
+            u, v = pool[key[0]], pool[key[1]]
+            value = objective.theta(u.distance, v.distance, pair_distance(u, v))
+            theta_cache[key] = value
+        return value
+
+    remaining = set(range(len(pool)))
+    chosen: List[int] = []
+    for _ in range(k // 2):
+        best_pair: Tuple[int, int] = (-1, -1)
+        best_theta = float("-inf")
+        order = sorted(remaining)
+        for a_pos, i in enumerate(order):
+            for j in order[a_pos + 1 :]:
+                t = theta_of(i, j)
+                if t > best_theta:
+                    best_theta = t
+                    best_pair = (i, j)
+        if best_pair[0] < 0:
+            break
+        chosen.extend(best_pair)
+        remaining.discard(best_pair[0])
+        remaining.discard(best_pair[1])
+        if len(remaining) < 2:
+            break
+    if len(chosen) < k and remaining:
+        # Odd k (or an exhausted pool): add the closest remaining object.
+        extra = min(remaining)
+        chosen.append(extra)
+    result = [pool[i] for i in chosen[:k]]
+    result.sort(key=lambda it: (it.distance, it.object.object_id))
+    return result

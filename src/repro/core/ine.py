@@ -1,0 +1,179 @@
+"""Incremental network expansion with spatial keyword pruning (Alg. 3).
+
+The expansion integrates Dijkstra's algorithm with INE [Papadias et
+al.]: nodes are settled in non-decreasing network distance from the
+query; when an edge is reached for the first time its matching objects
+are loaded through the object index (Algorithm 2 — this is where the
+signature pruning bites) and queued with tentative distances that are
+finalised once provably minimal.
+
+:class:`INEExpansion` is a *generator*: objects stream out in
+non-decreasing ``δ(q, o)`` order.  The plain SK search materialises the
+stream; the incremental diversified search (COM, Algorithm 6) consumes
+it lazily and may close it early, terminating the network expansion
+exactly as the paper's Algorithm 6 line 16 does.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+
+from ..index.base import ObjectIndex
+from ..network.distance import AdjacencyProvider, seed_distances
+from ..network.graph import NetworkPosition, RoadNetwork
+from ..network.objects import SpatioTextualObject
+from .queries import ResultItem
+
+__all__ = ["ExpansionStats", "INEExpansion"]
+
+
+@dataclass
+class ExpansionStats:
+    """Road-network traversal counters of one expansion (paper's l_n, l_e)."""
+
+    nodes_accessed: int = 0
+    edges_accessed: int = 0
+    objects_emitted: int = 0
+    terminated_early: bool = False
+
+
+class INEExpansion:
+    """Algorithm 3 as a resumable object stream.
+
+    Parameters
+    ----------
+    provider:
+        Adjacency provider — the CCAM store in measured runs, so every
+        adjacency access is charged to the I/O model.
+    network:
+        The logical road network (edge metadata only; no traversal).
+    index:
+        Object index implementing Algorithm 2 (``load_objects``).
+    position, terms, delta_max:
+        The SK query.
+    """
+
+    def __init__(
+        self,
+        provider: AdjacencyProvider,
+        network: RoadNetwork,
+        index: ObjectIndex,
+        position: NetworkPosition,
+        terms: FrozenSet[str],
+        delta_max: float,
+    ) -> None:
+        self._provider = provider
+        self._network = network
+        self._index = index
+        self._position = position
+        self._terms = terms
+        self._delta_max = delta_max
+        self.stats = ExpansionStats()
+
+    def run(self) -> Iterator[ResultItem]:
+        """Yield matching objects in non-decreasing network distance."""
+        network = self._network
+        delta_max = self._delta_max
+        query_edge = self._position.edge_id
+
+        settled: Set[int] = set()
+        visited_edges: Set[int] = set()
+        node_heap: List[Tuple[float, int]] = []
+        #: object_id -> best tentative distance
+        best: Dict[int, float] = {}
+        #: object_id -> object (for emission)
+        loaded: Dict[int, SpatioTextualObject] = {}
+        #: matching objects grouped by edge, for endpoint relaxation
+        edge_objects: Dict[int, List[SpatioTextualObject]] = {}
+        #: objects on the query edge use the along-edge distance and are
+        #: never relaxed (paper: δ(q, p) = w(q, p) on a shared edge).
+        pinned: Set[int] = set()
+        emitted: Set[int] = set()
+        obj_heap: List[Tuple[float, int]] = []
+
+        def queue_object(obj: SpatioTextualObject, dist: float) -> None:
+            prev = best.get(obj.object_id)
+            if prev is not None and prev <= dist:
+                return
+            best[obj.object_id] = dist
+            loaded[obj.object_id] = obj
+            heapq.heappush(obj_heap, (dist, obj.object_id))
+
+        def emit_upto(bound: float) -> Iterator[ResultItem]:
+            """Objects whose tentative distance can no longer improve."""
+            while obj_heap and obj_heap[0][0] <= bound:
+                dist, oid = heapq.heappop(obj_heap)
+                if oid in emitted or dist > best[oid]:
+                    continue  # stale heap entry
+                if dist > delta_max:
+                    continue
+                emitted.add(oid)
+                self.stats.objects_emitted += 1
+                yield ResultItem(loaded[oid], dist)
+
+        # Seed: the query's own edge.
+        visited_edges.add(query_edge)
+        self.stats.edges_accessed += 1
+        for obj in self._index.load_objects(query_edge, self._terms):
+            dist = abs(obj.position.offset - self._position.offset)
+            if dist <= delta_max:
+                queue_object(obj, dist)
+                pinned.add(obj.object_id)
+
+        for node_id, dist in seed_distances(network, self._position).items():
+            heapq.heappush(node_heap, (dist, node_id))
+
+        while node_heap:
+            d_n, node_id = heapq.heappop(node_heap)
+            if node_id in settled:
+                continue
+            # Every queued object with tentative distance <= d_n is
+            # final: any improvement would route through a node settled
+            # later, at distance >= d_n.
+            yield from emit_upto(d_n)
+            if d_n > delta_max:
+                # δ_T exceeded δmax: no unvisited node or object can
+                # qualify any more (paper's termination condition).
+                break
+            settled.add(node_id)
+            self.stats.nodes_accessed += 1
+
+            for edge_id, other, weight in self._provider.neighbors(node_id):
+                if other not in settled:
+                    heapq.heappush(node_heap, (d_n + weight, other))
+                if edge_id == query_edge:
+                    continue  # pinned objects keep their along-edge distance
+                edge = network.edge(edge_id)
+                if edge_id not in visited_edges:
+                    visited_edges.add(edge_id)
+                    self.stats.edges_accessed += 1
+                    matches = self._index.load_objects(edge_id, self._terms)
+                    if matches:
+                        edge_objects[edge_id] = matches
+                    for obj in matches:
+                        offset = (
+                            obj.position.offset
+                            if node_id == edge.n1
+                            else edge.weight - obj.position.offset
+                        )
+                        queue_object(obj, d_n + offset)
+                else:
+                    # Second end-node settled: relax the edge's objects
+                    # (Algorithm 3 lines 18-22).
+                    for obj in edge_objects.get(edge_id, ()):
+                        if obj.object_id in pinned:
+                            continue
+                        offset = (
+                            obj.position.offset
+                            if node_id == edge.n1
+                            else edge.weight - obj.position.offset
+                        )
+                        queue_object(obj, d_n + offset)
+
+        yield from emit_upto(float("inf"))
+
+    def run_to_completion(self) -> List[ResultItem]:
+        """Materialise the whole stream (plain SK search)."""
+        return list(self.run())

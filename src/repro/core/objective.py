@@ -1,0 +1,109 @@
+"""The bi-criteria max-sum diversification objective (paper §2.1, §4.3).
+
+The supplied text of Equations (2)-(4) is OCR-damaged; DESIGN.md §1
+documents the reconstruction used here, which follows the max-sum
+diversification of Gollapudi & Sharma and is consistent with every
+qualitative statement in the paper:
+
+``rel(u)    = 1 - δ(u, q) / δmax``              (relevance, in [0, 1])
+``div(u, v) = δ(u, v) / (2 δmax)``              (diversity, in [0, 1])
+``θ(u, v)   = λ (rel(u) + rel(v)) / 2 + (1 - λ) div(u, v)``
+``f(S)      = (2 / (k (k-1))) Σ_{u<v} θ(u, v)``
+
+A larger ``λ`` prioritises closeness, which shrinks the pruning bounds
+faster as the expansion front ``γ`` advances and enables the early
+termination the paper observes in Fig. 15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Callable, Sequence
+
+from ..errors import QueryError
+
+__all__ = ["DiversificationObjective"]
+
+
+@dataclass(frozen=True)
+class DiversificationObjective:
+    """θ / f evaluation and the §4.3 pruning upper bounds."""
+
+    lambda_: float
+    delta_max: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.lambda_ <= 1.0:
+            raise QueryError("lambda must lie in [0, 1]")
+        if self.delta_max <= 0:
+            raise QueryError("delta_max must be positive")
+
+    # ------------------------------------------------------------------
+    # Components
+    # ------------------------------------------------------------------
+    def relevance(self, dist_to_query: float) -> float:
+        """``rel(u) = 1 - δ(u, q)/δmax``, clamped to [0, 1]."""
+        return max(0.0, min(1.0, 1.0 - dist_to_query / self.delta_max))
+
+    def diversity(self, pair_distance: float) -> float:
+        """``div(u, v) = δ(u, v)/(2 δmax)``, clamped to [0, 1].
+
+        The clamp is exact, not a heuristic: two objects within
+        ``δmax`` of the query are within ``2 δmax`` of each other by
+        the triangle inequality.
+        """
+        return max(0.0, min(1.0, pair_distance / (2.0 * self.delta_max)))
+
+    def theta(self, dist_u: float, dist_v: float, pair_distance: float) -> float:
+        """Diversification distance θ(u, v) of one object pair."""
+        rel = (self.relevance(dist_u) + self.relevance(dist_v)) / 2.0
+        return self.lambda_ * rel + (1.0 - self.lambda_) * self.diversity(
+            pair_distance
+        )
+
+    def objective(
+        self,
+        dists_to_query: Sequence[float],
+        pair_distance: Callable[[int, int], float],
+    ) -> float:
+        """``f(S)`` for a result set given per-object and pairwise distances.
+
+        ``pair_distance(i, j)`` returns ``δ(S[i], S[j])``.  Singleton
+        sets score their relevance; empty sets score 0.
+        """
+        k = len(dists_to_query)
+        if k == 0:
+            return 0.0
+        if k == 1:
+            return self.lambda_ * self.relevance(dists_to_query[0])
+        total = 0.0
+        for i, j in combinations(range(k), 2):
+            total += self.theta(
+                dists_to_query[i], dists_to_query[j], pair_distance(i, j)
+            )
+        return 2.0 * total / (k * (k - 1))
+
+    # ------------------------------------------------------------------
+    # §4.3 pruning bounds
+    # ------------------------------------------------------------------
+    def theta_ub_unvisited(self, gamma: float) -> float:
+        """Upper bound of θ between any two *unvisited* objects.
+
+        Unvisited objects are at network distance at least ``γ`` from
+        the query (objects arrive in distance order) and at most
+        ``2 δmax`` from each other.
+        """
+        rel_ub = self.relevance(gamma)
+        return self.lambda_ * rel_ub + (1.0 - self.lambda_)
+
+    def theta_ub_visited(self, dist_o: float, gamma: float) -> float:
+        """Upper bound of θ between a visited object and any unvisited one.
+
+        The unvisited side has relevance at most ``rel(γ)``; the pair
+        distance is at most ``δ(o, q) + δmax`` (triangle inequality via
+        the query, since the unvisited object is within ``δmax``).
+        """
+        rel = (self.relevance(dist_o) + self.relevance(gamma)) / 2.0
+        div_ub = self.diversity(dist_o + self.delta_max)
+        return self.lambda_ * rel + (1.0 - self.lambda_) * div_ub

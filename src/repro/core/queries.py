@@ -1,0 +1,149 @@
+"""Query and result types of the public API."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from ..errors import QueryError
+from ..network.graph import NetworkPosition
+from ..network.objects import SpatioTextualObject
+from ..storage.iostats import IOSnapshot
+
+__all__ = [
+    "SKQuery",
+    "DiversifiedSKQuery",
+    "ResultItem",
+    "QueryStats",
+    "SKResult",
+    "DiversifiedResult",
+]
+
+
+@dataclass(frozen=True)
+class SKQuery:
+    """A boolean spatial keyword query on the road network (Def. §2.1).
+
+    Retrieves every object containing *all* of ``terms`` within network
+    distance ``delta_max`` of ``position``.
+    """
+
+    position: NetworkPosition
+    terms: FrozenSet[str]
+    delta_max: float
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise QueryError("an SK query needs at least one keyword")
+        if self.delta_max <= 0:
+            raise QueryError("delta_max must be positive")
+
+    @classmethod
+    def create(
+        cls, position: NetworkPosition, terms: Iterable[str], delta_max: float
+    ) -> "SKQuery":
+        return cls(position, frozenset(terms), delta_max)
+
+
+@dataclass(frozen=True)
+class DiversifiedSKQuery:
+    """A diversified SK query: SK constraints plus ``k`` and ``λ``.
+
+    ``lambda_`` weights relevance against spatial diversity in the
+    max-sum objective (see :mod:`repro.core.objective`).
+    """
+
+    position: NetworkPosition
+    terms: FrozenSet[str]
+    delta_max: float
+    k: int
+    lambda_: float = 0.8
+
+    def __post_init__(self) -> None:
+        if not self.terms:
+            raise QueryError("a diversified SK query needs at least one keyword")
+        if self.delta_max <= 0:
+            raise QueryError("delta_max must be positive")
+        if self.k < 2:
+            raise QueryError("k must be at least 2")
+        if not 0.0 <= self.lambda_ <= 1.0:
+            raise QueryError("lambda must lie in [0, 1]")
+
+    @property
+    def sk_query(self) -> SKQuery:
+        return SKQuery(self.position, self.terms, self.delta_max)
+
+    @classmethod
+    def create(
+        cls,
+        position: NetworkPosition,
+        terms: Iterable[str],
+        delta_max: float,
+        k: int,
+        lambda_: float = 0.8,
+    ) -> "DiversifiedSKQuery":
+        return cls(position, frozenset(terms), delta_max, k, lambda_)
+
+
+@dataclass(frozen=True)
+class ResultItem:
+    """One retrieved object with its network distance from the query."""
+
+    object: SpatioTextualObject
+    distance: float
+
+
+@dataclass
+class QueryStats:
+    """Measurements of one query execution."""
+
+    wall_seconds: float = 0.0
+    nodes_accessed: int = 0
+    edges_accessed: int = 0
+    objects_loaded: int = 0
+    false_hit_objects: int = 0
+    candidates: int = 0
+    pairwise_dijkstras: int = 0
+    theta_evaluations: int = 0
+    expansion_terminated_early: bool = False
+    io: Optional[IOSnapshot] = None
+
+    @property
+    def physical_reads(self) -> int:
+        return self.io.physical_reads if self.io else 0
+
+
+@dataclass
+class SKResult:
+    """Result of Algorithm 3: matching objects ordered by distance."""
+
+    items: List[ResultItem]
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def object_ids(self) -> Tuple[int, ...]:
+        return tuple(item.object.object_id for item in self.items)
+
+
+@dataclass
+class DiversifiedResult:
+    """Result of a diversified SK search (SEQ or COM)."""
+
+    items: List[ResultItem]
+    objective_value: float
+    method: str
+    stats: QueryStats = field(default_factory=QueryStats)
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+    def __iter__(self):
+        return iter(self.items)
+
+    def object_ids(self) -> Tuple[int, ...]:
+        return tuple(item.object.object_id for item in self.items)

@@ -1,0 +1,21 @@
+"""Datasets: synthetic road networks, object generators, Table-2 profiles."""
+
+from .catalog import PROFILES, DatasetProfile, build_dataset, build_network
+from .generator import populate_objects, random_positions
+from .io import load_cnode_cedge, load_dataset, save_dataset
+from .synthetic import connect_components, grid_network, random_planar_network
+
+__all__ = [
+    "PROFILES",
+    "DatasetProfile",
+    "build_dataset",
+    "build_network",
+    "populate_objects",
+    "load_cnode_cedge",
+    "load_dataset",
+    "save_dataset",
+    "random_positions",
+    "connect_components",
+    "grid_network",
+    "random_planar_network",
+]

@@ -1,0 +1,142 @@
+"""Synthetic road-network generators.
+
+The paper's road networks (North America, San Francisco, Bay Area) are
+real; we substitute deterministic synthetic networks that preserve the
+properties the algorithms are sensitive to — node degree, edge-length
+scale, planarity — at a configurable size (see DESIGN.md §2,
+Substitutions).  Two families are provided:
+
+* :func:`grid_network` — a perturbed grid, sparse and nearly planar,
+  resembling the North-America road graph (edge/node ratio ≈ 1);
+* :func:`random_planar_network` — a k-nearest-neighbour graph over
+  random points, denser, resembling urban networks such as the Bay
+  Area graph (edge/node ratio ≈ 2.5).
+
+All coordinates live in the paper's ``[0, 10000]^2`` space and all
+randomness is seeded.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..errors import DatasetError
+from ..network.graph import RoadNetwork
+
+__all__ = ["grid_network", "random_planar_network", "connect_components"]
+
+EXTENT = 10000.0
+
+
+def grid_network(
+    rows: int,
+    cols: int,
+    jitter: float = 0.25,
+    drop_prob: float = 0.08,
+    seed: int = 0,
+    extent: float = EXTENT,
+) -> RoadNetwork:
+    """A jittered grid network with some edges removed.
+
+    ``jitter`` perturbs node positions by that fraction of the cell
+    size; ``drop_prob`` removes that fraction of the non-tree edges
+    (connectivity is always preserved: a spanning structure is kept).
+    """
+    if rows < 2 or cols < 2:
+        raise DatasetError("grid needs at least 2x2 nodes")
+    rng = np.random.default_rng(seed)
+    network = RoadNetwork()
+    dx = extent / (cols - 1)
+    dy = extent / (rows - 1)
+    for r in range(rows):
+        for c in range(cols):
+            jx = rng.uniform(-jitter, jitter) * dx if 0 < c < cols - 1 else 0.0
+            jy = rng.uniform(-jitter, jitter) * dy if 0 < r < rows - 1 else 0.0
+            network.add_node(r * cols + c, c * dx + jx, r * dy + jy)
+
+    # Horizontal tree backbone plus the first column: always kept.
+    for r in range(rows):
+        for c in range(cols - 1):
+            network.add_edge(r * cols + c, r * cols + c + 1)
+    for r in range(rows - 1):
+        network.add_edge(r * cols, (r + 1) * cols)
+    # Remaining vertical edges are dropped independently.
+    for r in range(rows - 1):
+        for c in range(1, cols):
+            if rng.random() >= drop_prob:
+                network.add_edge(r * cols + c, (r + 1) * cols + c)
+    return network
+
+
+def random_planar_network(
+    num_nodes: int,
+    neighbours: int = 3,
+    seed: int = 0,
+    extent: float = EXTENT,
+) -> RoadNetwork:
+    """A k-nearest-neighbour graph over uniform random points.
+
+    Every node is linked to its ``neighbours`` nearest points (edges
+    deduplicated), then disconnected components are stitched together
+    with their closest cross pairs, so the result is connected with an
+    edge/node ratio of roughly ``neighbours`` ÷ 2 + ε.
+    """
+    if num_nodes < 2:
+        raise DatasetError("need at least 2 nodes")
+    rng = np.random.default_rng(seed)
+    points = rng.uniform(0.0, extent, size=(num_nodes, 2))
+    network = RoadNetwork()
+    for i, (x, y) in enumerate(points):
+        network.add_node(i, float(x), float(y))
+
+    tree = cKDTree(points)
+    k = min(neighbours + 1, num_nodes)
+    _dists, idx = tree.query(points, k=k)
+    seen = set()
+    for i in range(num_nodes):
+        for j in np.atleast_1d(idx[i])[1:]:
+            j = int(j)
+            a, b = (i, j) if i < j else (j, i)
+            if a != b and (a, b) not in seen:
+                seen.add((a, b))
+                network.add_edge(a, b)
+    connect_components(network, points)
+    return network
+
+
+def connect_components(network: RoadNetwork, points: np.ndarray) -> None:
+    """Stitch disconnected components with closest-pair bridge edges."""
+    parent = list(range(network.num_nodes))
+
+    def find(x: int) -> int:
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: int, b: int) -> None:
+        parent[find(a)] = find(b)
+
+    for edge in network.edges():
+        union(edge.n1, edge.n2)
+
+    components: dict = {}
+    for i in range(network.num_nodes):
+        components.setdefault(find(i), []).append(i)
+    comps = list(components.values())
+    while len(comps) > 1:
+        base = comps[0]
+        other = comps[1]
+        best: Optional[Tuple[float, int, int]] = None
+        base_tree = cKDTree(points[base])
+        dists, nearest = base_tree.query(points[other], k=1)
+        pick = int(np.argmin(dists))
+        a = other[pick]
+        b = base[int(np.atleast_1d(nearest)[pick])]
+        if network.edge_between(a, b) is None:
+            network.add_edge(a, b)
+        union(a, b)
+        comps = [base + other] + comps[2:]

@@ -1,0 +1,41 @@
+"""Spatio-textual object indexes: IR, IF, SIF, SIF-P, SIF-G, CCAM."""
+
+from .base import LoadCounters, ObjectIndex
+from .edge_store import EdgeStoreIndex
+from .inverted_file import InvertedFileIndex, edge_zorder_key
+from .inverted_rtree import InvertedRTreeIndex
+from .partition import (
+    QueryLog,
+    dp_partition,
+    false_hit_cost,
+    greedy_partition,
+    partition_cost,
+    segments_from_cuts,
+)
+from .query_log import frequency_edge_log, log_from_workload, random_edge_log
+from .signature import SignatureFile
+from .sif import SIFIndex
+from .sif_g import SIFGIndex
+from .sif_p import SIFPIndex
+
+__all__ = [
+    "LoadCounters",
+    "ObjectIndex",
+    "EdgeStoreIndex",
+    "InvertedFileIndex",
+    "edge_zorder_key",
+    "InvertedRTreeIndex",
+    "QueryLog",
+    "dp_partition",
+    "false_hit_cost",
+    "greedy_partition",
+    "partition_cost",
+    "segments_from_cuts",
+    "frequency_edge_log",
+    "log_from_workload",
+    "random_edge_log",
+    "SignatureFile",
+    "SIFIndex",
+    "SIFGIndex",
+    "SIFPIndex",
+]

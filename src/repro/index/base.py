@@ -1,0 +1,88 @@
+"""Common interface of the spatio-textual object indexes.
+
+Algorithm 3 (the SK search) is index-agnostic: whenever the network
+expansion reaches an edge for the first time it asks the object index
+for the objects on that edge satisfying the keyword constraint
+(Algorithm 2, ``LoadObjects``).  The four indexes of the paper — IR,
+IF, SIF, SIF-P (plus the SIF-G comparison point of Fig. 9) — differ
+only in how much I/O that call costs and how many irrelevant objects it
+loads.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import FrozenSet, List, Sequence
+
+from ..network.objects import ObjectStore, SpatioTextualObject
+
+__all__ = ["LoadCounters", "ObjectIndex"]
+
+
+@dataclass
+class LoadCounters:
+    """Per-query counters maintained by every index.
+
+    ``objects_loaded`` counts object postings fetched from disk;
+    ``false_hit_objects`` counts the subset fetched for edges (or
+    virtual edges) that produced no result — the quantity Fig. 9 plots.
+    """
+
+    edges_probed: int = 0
+    edges_pruned_by_signature: int = 0
+    objects_loaded: int = 0
+    false_hits: int = 0
+    false_hit_objects: int = 0
+    results_returned: int = 0
+
+    def reset(self) -> None:
+        self.edges_probed = 0
+        self.edges_pruned_by_signature = 0
+        self.objects_loaded = 0
+        self.false_hits = 0
+        self.false_hit_objects = 0
+        self.results_returned = 0
+
+
+class ObjectIndex(abc.ABC):
+    """Access path from an edge id to its matching objects."""
+
+    #: Short name used in reports ("IR", "IF", "SIF", "SIF-P", "SIF-G").
+    name: str = "?"
+
+    def __init__(self, store: ObjectStore) -> None:
+        self._store = store
+        self.counters = LoadCounters()
+        #: Wall-clock seconds spent building the index.
+        self.build_seconds: float = 0.0
+
+    @property
+    def store(self) -> ObjectStore:
+        return self._store
+
+    @abc.abstractmethod
+    def load_objects(
+        self, edge_id: int, terms: FrozenSet[str]
+    ) -> List[SpatioTextualObject]:
+        """Algorithm 2: objects on ``edge_id`` containing *all* ``terms``.
+
+        Implementations charge their I/O to the shared disk manager and
+        update :attr:`counters`.
+        """
+
+    @abc.abstractmethod
+    def size_bytes(self) -> int:
+        """Total on-disk size of the index (pages plus signatures)."""
+
+    def describe(self) -> str:
+        return f"{self.name} ({self.size_bytes() / 1024:.0f} KiB)"
+
+    # ------------------------------------------------------------------
+    # Shared helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _filter_and(
+        objects: Sequence[SpatioTextualObject], terms: FrozenSet[str]
+    ) -> List[SpatioTextualObject]:
+        return [o for o in objects if o.contains_all(terms)]

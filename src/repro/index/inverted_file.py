@@ -1,0 +1,207 @@
+"""IF — the inverted file over edges (paper §3.1).
+
+For each keyword ``t`` the objects containing ``t`` are kept with their
+edges in a disk-resident B+-tree whose key is the Z-order code of the
+edge's centre point (ties broken by edge id so keys stay unique while
+preserving spatial locality).  Leaf values point at postings pages; the
+postings of one keyword are packed into pages in edge-key order, so
+spatially close edges share pages (the Z-order clustering the paper
+relies on) and small posting lists do not waste whole pages.
+
+``load_objects`` implements Algorithm 2 without the signature test:
+every query keyword requires a B+-tree descent, and the postings of
+every query keyword on the edge are fetched before the
+AND-intersection — which is exactly why false hits hurt IF and motivate
+SIF.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..network.graph import RoadNetwork
+from ..network.objects import ObjectStore, SpatioTextualObject
+from ..spatial.zorder import ZOrderCurve
+from ..storage.bplustree import BPlusTree
+from ..storage.pagefile import PAGE_SIZE, DiskManager, PageFile
+from .base import ObjectIndex
+
+__all__ = ["InvertedFileIndex", "edge_zorder_key", "pack_postings", "POSTING_BYTES"]
+
+#: Bytes per posting: edge key, object id and offset.
+POSTING_BYTES = 16
+POSTINGS_PER_PAGE = PAGE_SIZE // POSTING_BYTES
+
+#: A posting: ``(edge_key, object_id, offset)``.
+Posting = Tuple[int, int, float]
+
+
+def edge_zorder_key(curve: ZOrderCurve, network: RoadNetwork, edge_id: int) -> int:
+    """Unique, locality-preserving B+-tree key for an edge."""
+    code = curve.encode_point(network.edge(edge_id).center)
+    return (code << 24) | edge_id
+
+
+def pack_postings(
+    file: PageFile, postings: List[Posting]
+) -> Dict[int, List[int]]:
+    """Pack postings (sorted by edge key) into pages of ``file``.
+
+    Returns ``edge_key -> page numbers holding that edge's postings``.
+    Pages are shared between consecutive edges, so the map's page lists
+    overlap at the boundaries.
+    """
+    edge_pages: Dict[int, List[int]] = {}
+    for start in range(0, len(postings), POSTINGS_PER_PAGE):
+        chunk = postings[start : start + POSTINGS_PER_PAGE]
+        page_no = file.allocate(chunk, size_bytes=len(chunk) * POSTING_BYTES)
+        for edge_key, _oid, _off in chunk:
+            pages = edge_pages.setdefault(edge_key, [])
+            if not pages or pages[-1] != page_no:
+                pages.append(page_no)
+    return edge_pages
+
+
+class InvertedFileIndex(ObjectIndex):
+    """Per-keyword B+-trees of edge postings (index "IF")."""
+
+    name = "IF"
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        disk: DiskManager,
+        curve: Optional[ZOrderCurve] = None,
+        file_prefix: str = "if",
+    ) -> None:
+        super().__init__(store)
+        self._disk = disk
+        self._curve = curve or ZOrderCurve()
+        self._network = store.network
+        self._trees: Dict[str, BPlusTree] = {}
+        self._pages_per_term: Dict[str, int] = {}
+        self._postings: PageFile = disk.create_file(
+            f"{file_prefix}.postings", category="inverted"
+        )
+        self._tree_file: PageFile = disk.create_file(
+            f"{file_prefix}.trees", category="inverted"
+        )
+        start = time.perf_counter()
+        self._build()
+        self.build_seconds = time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        # term -> postings in edge-key order
+        staged: Dict[str, List[Posting]] = {}
+        for edge_id in sorted(
+            self._store.edges_with_objects(),
+            key=lambda e: edge_zorder_key(self._curve, self._network, e),
+        ):
+            key = edge_zorder_key(self._curve, self._network, edge_id)
+            for obj in self._store.objects_on_edge(edge_id):
+                posting = (key, obj.object_id, obj.position.offset)
+                for term in obj.keywords:
+                    staged.setdefault(term, []).append(posting)
+
+        for term in sorted(staged):
+            postings = staged[term]
+            edge_pages = pack_postings(self._postings, postings)
+            entries = sorted(edge_pages.items())
+            tree = BPlusTree(self._tree_file, key_bytes=8, value_bytes=8)
+            tree.bulk_load(entries)
+            self._trees[term] = tree
+            self._pages_per_term[term] = len(
+                {p for pages in edge_pages.values() for p in pages}
+            )
+
+    # ------------------------------------------------------------------
+    # Algorithm 2 (without the signature test)
+    # ------------------------------------------------------------------
+    def load_objects(
+        self, edge_id: int, terms: FrozenSet[str]
+    ) -> List[SpatioTextualObject]:
+        self.counters.edges_probed += 1
+        key = edge_zorder_key(self._curve, self._network, edge_id)
+        loaded_total = 0
+        intersection: Optional[Set[int]] = None
+        for term in terms:
+            tree = self._trees.get(term)
+            pages = tree.search(key) if tree is not None else None
+            if pages is None:
+                # The keyword never occurs on this edge: the descent was
+                # still paid, and postings already fetched are wasted.
+                intersection = set()
+                continue
+            ids: Set[int] = set()
+            for page_no in pages:
+                for edge_key, oid, _off in self._postings.read(page_no):
+                    if edge_key == key:
+                        loaded_total += 1
+                        ids.add(oid)
+            intersection = ids if intersection is None else intersection & ids
+        self.counters.objects_loaded += loaded_total
+        result_ids = intersection or set()
+        if not result_ids and loaded_total:
+            self.counters.false_hits += 1
+            self.counters.false_hit_objects += loaded_total
+        self.counters.results_returned += len(result_ids)
+        out = [self._store.get(oid) for oid in result_ids]
+        out.sort(key=lambda o: o.position.offset)
+        return out
+
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        return self._postings.size_bytes + self._tree_file.size_bytes
+
+    def has_term(self, term: str) -> bool:
+        return term in self._trees
+
+    def postings_pages_of(self, term: str) -> int:
+        """Number of postings pages of one keyword (signature threshold)."""
+        return self._pages_per_term.get(term, 0)
+
+    # ------------------------------------------------------------------
+    # Dynamic updates
+    # ------------------------------------------------------------------
+    def insert_object(self, obj: SpatioTextualObject) -> None:
+        """Insert one new object's postings (dynamic maintenance).
+
+        For each keyword the posting is appended to the edge's last
+        postings page if it has free space, otherwise a fresh page is
+        allocated and linked from the keyword's B+-tree.  New keywords
+        get a fresh single-leaf tree.
+        """
+        key = edge_zorder_key(self._curve, self._network, obj.position.edge_id)
+        posting = (key, obj.object_id, obj.position.offset)
+        for term in obj.keywords:
+            tree = self._trees.get(term)
+            if tree is None:
+                page_no = self._postings.allocate(
+                    [posting], size_bytes=POSTING_BYTES
+                )
+                tree = BPlusTree(self._tree_file, key_bytes=8, value_bytes=8)
+                tree.bulk_load([(key, [page_no])])
+                self._trees[term] = tree
+                self._pages_per_term[term] = 1
+                continue
+            pages = tree.search(key)
+            if pages is None:
+                page_no = self._postings.allocate(
+                    [posting], size_bytes=POSTING_BYTES
+                )
+                tree.insert(key, [page_no])
+                self._pages_per_term[term] = self._pages_per_term.get(term, 0) + 1
+                continue
+            last = self._postings.read_unbuffered(pages[-1])
+            if len(last) < POSTINGS_PER_PAGE:
+                last.append(posting)
+            else:
+                page_no = self._postings.allocate(
+                    [posting], size_bytes=POSTING_BYTES
+                )
+                pages.append(page_no)
+                self._pages_per_term[term] = self._pages_per_term.get(term, 0) + 1

@@ -1,0 +1,182 @@
+"""SIF-G — group-based indexing (paper §5.1, Fig. 9 comparison point).
+
+"Besides the individual terms, we also build the signature file and
+inverted list for the combinations of the frequent terms": every
+unordered pair of the top-x most frequent terms becomes a synthetic
+*group term* whose inverted list keeps only edges carrying an object
+with *both* terms.  A query containing an indexed pair can use the
+group list — a much more selective signature and posting set — at the
+price of a large extra index (the paper budgets SIF-G ten times the
+space of SIF-P's signatures and still finds SIF-P more cost-effective).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..network.objects import ObjectStore, SpatioTextualObject
+from ..spatial.kdtree import KDTreePartition
+from ..spatial.zorder import ZOrderCurve
+from ..storage.bplustree import BPlusTree
+from ..storage.pagefile import DiskManager, PageFile
+from .base import ObjectIndex
+from .inverted_file import InvertedFileIndex, edge_zorder_key, pack_postings
+from .signature import SignatureFile
+
+__all__ = ["SIFGIndex"]
+
+
+class SIFGIndex(ObjectIndex):
+    """SIF plus pairwise group terms over the most frequent keywords."""
+
+    name = "SIF-G"
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        disk: DiskManager,
+        top_terms: int = 10,
+        curve: Optional[ZOrderCurve] = None,
+        kd_partition: Optional[KDTreePartition] = None,
+        min_postings_pages: int = 1,
+        file_prefix: str = "sifg",
+    ) -> None:
+        super().__init__(store)
+        self._curve = curve or ZOrderCurve()
+        self._network = store.network
+        start = time.perf_counter()
+        self._inverted = InvertedFileIndex(
+            store, disk, curve=self._curve, file_prefix=file_prefix
+        )
+        if kd_partition is None:
+            centers = [e.center for e in store.network.edges()]
+            kd_partition = KDTreePartition(centers)
+        self._kd = kd_partition
+        self._signatures = SignatureFile(
+            store,
+            inverted=self._inverted,
+            min_postings_pages=min_postings_pages,
+            kd_partition=kd_partition,
+        )
+        self._inverted.counters = self.counters
+
+        freq = store.keyword_frequencies()
+        ranked = sorted(freq, key=lambda t: (-freq[t], t))
+        self._top_terms: List[str] = ranked[:top_terms]
+        self._group_file: PageFile = disk.create_file(
+            f"{file_prefix}.groups", category="inverted"
+        )
+        self._group_trees: Dict[FrozenSet[str], BPlusTree] = {}
+        self._group_bits: Dict[FrozenSet[str], Set[int]] = {}
+        self._build_groups()
+        self.build_seconds = time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    def _build_groups(self) -> None:
+        top = set(self._top_terms)
+        staged: Dict[FrozenSet[str], List[Tuple[int, int, float]]] = {}
+        ordered_edges = sorted(
+            self._store.edges_with_objects(),
+            key=lambda e: edge_zorder_key(self._curve, self._network, e),
+        )
+        for edge_id in ordered_edges:
+            key = edge_zorder_key(self._curve, self._network, edge_id)
+            for obj in self._store.objects_on_edge(edge_id):
+                present = sorted(obj.keywords & top)
+                for i in range(len(present)):
+                    for j in range(i + 1, len(present)):
+                        pair = frozenset((present[i], present[j]))
+                        staged.setdefault(pair, []).append(
+                            (key, obj.object_id, obj.position.offset)
+                        )
+                        self._group_bits.setdefault(pair, set()).add(edge_id)
+        for pair in sorted(staged, key=sorted):
+            edge_pages = pack_postings(self._group_file, staged[pair])
+            tree = BPlusTree(self._group_file, key_bytes=8, value_bytes=8)
+            tree.bulk_load(sorted(edge_pages.items()))
+            self._group_trees[pair] = tree
+
+    def _cover(self, terms: FrozenSet[str]) -> Tuple[List[FrozenSet[str]], List[str]]:
+        """Greedy cover of the query terms by indexed pairs + singletons."""
+        remaining = set(terms)
+        pairs: List[FrozenSet[str]] = []
+        ordered = sorted(remaining)
+        for i in range(len(ordered)):
+            for j in range(i + 1, len(ordered)):
+                pair = frozenset((ordered[i], ordered[j]))
+                if (
+                    pair in self._group_trees
+                    and ordered[i] in remaining
+                    and ordered[j] in remaining
+                ):
+                    pairs.append(pair)
+                    remaining.discard(ordered[i])
+                    remaining.discard(ordered[j])
+        return pairs, sorted(remaining)
+
+    # ------------------------------------------------------------------
+    def load_objects(
+        self, edge_id: int, terms: FrozenSet[str]
+    ) -> List[SpatioTextualObject]:
+        pairs, singles = self._cover(terms)
+        # Signature test: group bits for pairs, plain bits for singles.
+        for pair in pairs:
+            if edge_id not in self._group_bits.get(pair, ()):
+                self.counters.edges_pruned_by_signature += 1
+                return []
+        if not self._signatures.test(edge_id, singles):
+            self.counters.edges_pruned_by_signature += 1
+            return []
+
+        self.counters.edges_probed += 1
+        key = edge_zorder_key(self._curve, self._network, edge_id)
+        loaded_total = 0
+        intersection: Optional[Set[int]] = None
+        for pair in pairs:
+            pages = self._group_trees[pair].search(key)
+            ids: Set[int] = set()
+            for page_no in pages or []:
+                for edge_key, oid, _off in self._group_file.read(page_no):
+                    if edge_key == key:
+                        loaded_total += 1
+                        ids.add(oid)
+            intersection = ids if intersection is None else intersection & ids
+        for term in singles:
+            tree = self._inverted._trees.get(term)
+            pages = tree.search(key) if tree is not None else None
+            ids = set()
+            for page_no in pages or []:
+                for edge_key, oid, _off in self._inverted._postings.read(page_no):
+                    if edge_key == key:
+                        loaded_total += 1
+                        ids.add(oid)
+            intersection = ids if intersection is None else intersection & ids
+
+        self.counters.objects_loaded += loaded_total
+        result_ids = intersection or set()
+        if not result_ids and loaded_total:
+            self.counters.false_hits += 1
+            self.counters.false_hit_objects += loaded_total
+        self.counters.results_returned += len(result_ids)
+        out = [self._store.get(oid) for oid in result_ids]
+        out.sort(key=lambda o: o.position.offset)
+        return out
+
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        return (
+            self._inverted.size_bytes()
+            + self._signatures.size_bytes()
+            + self.group_size_bytes()
+        )
+
+    def group_size_bytes(self) -> int:
+        """Extra space of the group lists and group signatures."""
+        num_edges = self._network.num_edges
+        sig_bytes = len(self._group_bits) * ((num_edges + 7) // 8)
+        return self._group_file.size_bytes + sig_bytes
+
+    @property
+    def num_groups(self) -> int:
+        return len(self._group_trees)

@@ -1,0 +1,291 @@
+"""SIF-P — signature-based inverted file with edge partitioning (§3.3).
+
+Dense edges are split into *virtual edges*, each with its own
+signature, so that queries whose keywords occur on the edge but never
+on the same object (or the same stretch of the edge) fail the signature
+test instead of loading postings.  Postings are stored per virtual
+edge, so a passing virtual edge only loads its own objects.
+
+Only the densest edges are partitioned (the paper considers "the edges
+whose number of objects ranked at the top 10%"), with a bounded number
+of cuts (3 in the experiments); the partition is chosen by the greedy
+(default) or exact DP solver against a query log.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from ..network.objects import ObjectStore, SpatioTextualObject
+from ..spatial.kdtree import KDTreePartition
+from ..spatial.zorder import ZOrderCurve
+from ..storage.bplustree import BPlusTree
+from ..storage.pagefile import PAGE_SIZE, DiskManager, PageFile
+from .base import ObjectIndex
+from .inverted_file import edge_zorder_key
+from .partition import QueryLog, dp_partition, greedy_partition, segments_from_cuts
+from .query_log import frequency_edge_log
+
+__all__ = ["SIFPIndex", "LogBuilder"]
+
+#: Bytes per posting: edge key, object id, offset.  Virtual-edge
+#: membership is positional (postings are grouped by virtual edge on
+#: the page), so SIF-P postings cost the same as SIF postings.
+_POSTING_BYTES = 16
+_POSTINGS_PER_PAGE = PAGE_SIZE // _POSTING_BYTES
+
+#: A posting: ``(edge_key, virtual_idx, object_id, offset)``.
+_Posting = Tuple[int, int, int, float]
+
+#: Builds a per-edge query log from the keyword sets of its objects.
+LogBuilder = Callable[[Sequence[FrozenSet[str]], np.random.Generator], QueryLog]
+
+
+def _default_log_builder(
+    object_keywords: Sequence[FrozenSet[str]], rng: np.random.Generator
+) -> QueryLog:
+    """SIF-P-Freq: frequency-weighted synthetic log (the paper default)."""
+    return frequency_edge_log(object_keywords, num_queries=32, num_terms=3, rng=rng)
+
+
+class SIFPIndex(ObjectIndex):
+    """Partition-enhanced signature-based inverted file (index "SIF-P")."""
+
+    name = "SIF-P"
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        disk: DiskManager,
+        curve: Optional[ZOrderCurve] = None,
+        kd_partition: Optional[KDTreePartition] = None,
+        max_cuts: int = 3,
+        partition_fraction: float = 0.10,
+        method: str = "greedy",
+        log_builder: Optional[LogBuilder] = None,
+        min_postings_pages: int = 1,
+        seed: int = 7,
+        file_prefix: str = "sifp",
+    ) -> None:
+        if method not in ("greedy", "dp"):
+            raise ValueError("method must be 'greedy' or 'dp'")
+        super().__init__(store)
+        self._disk = disk
+        self._curve = curve or ZOrderCurve()
+        self._network = store.network
+        self._max_cuts = max_cuts
+        self._partition_fraction = partition_fraction
+        self._method = method
+        self._log_builder = log_builder or _default_log_builder
+        self._min_postings_pages = min_postings_pages
+        self._rng = np.random.default_rng(seed)
+        if kd_partition is None:
+            centers = [e.center for e in store.network.edges()]
+            kd_partition = KDTreePartition(centers)
+        self._kd = kd_partition
+
+        self._postings: PageFile = disk.create_file(
+            f"{file_prefix}.postings", category="inverted"
+        )
+        self._tree_file: PageFile = disk.create_file(
+            f"{file_prefix}.trees", category="inverted"
+        )
+        self._trees: Dict[str, BPlusTree] = {}
+        self._pages_per_term: Dict[str, int] = {}
+        #: edge_id -> inclusive (start, end) object ranges (visiting order)
+        self._segments: Dict[int, List[Tuple[int, int]]] = {}
+        #: term -> set of (edge_id, virtual_idx) with the bit set
+        self._bits: Dict[str, Set[Tuple[int, int]]] = {}
+        self._unsigned_terms: Set[str] = set()
+
+        start = time.perf_counter()
+        self._build()
+        self.build_seconds = time.perf_counter() - start
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def _choose_partitioned_edges(self) -> Set[int]:
+        """Edges dense enough to partition (top fraction by object count)."""
+        counts = [
+            (len(self._store.objects_on_edge(e)), e)
+            for e in self._store.edges_with_objects()
+        ]
+        counts = [(n, e) for n, e in counts if n >= 2]
+        if not counts:
+            return set()
+        counts.sort(reverse=True)
+        keep = max(1, int(round(len(counts) * self._partition_fraction)))
+        return {e for _n, e in counts[:keep]}
+
+    def _partition_edge(self, object_keywords: List[FrozenSet[str]]) -> Tuple[int, ...]:
+        log = self._log_builder(object_keywords, self._rng)
+        if not log:
+            return ()
+        if self._method == "dp":
+            cuts, _cost = dp_partition(object_keywords, self._max_cuts, log)
+        else:
+            cuts, _cost = greedy_partition(object_keywords, self._max_cuts, log)
+        return cuts
+
+    def _build(self) -> None:
+        to_partition = self._choose_partitioned_edges()
+        # term -> postings in (edge key, virtual idx) order
+        staged: Dict[str, List[_Posting]] = {}
+        ordered_edges = sorted(
+            self._store.edges_with_objects(),
+            key=lambda e: edge_zorder_key(self._curve, self._network, e),
+        )
+        for edge_id in ordered_edges:
+            objects = self._store.objects_on_edge(edge_id)
+            kws = [o.keywords for o in objects]
+            cuts: Tuple[int, ...] = ()
+            if edge_id in to_partition and len(objects) >= 2:
+                cuts = self._partition_edge(kws)
+            segments = segments_from_cuts(len(objects), cuts)
+            self._segments[edge_id] = segments
+            key = edge_zorder_key(self._curve, self._network, edge_id)
+            for v_idx, (seg_start, seg_end) in enumerate(segments):
+                for obj in objects[seg_start : seg_end + 1]:
+                    posting = (key, v_idx, obj.object_id, obj.position.offset)
+                    for term in obj.keywords:
+                        staged.setdefault(term, []).append(posting)
+                        self._bits.setdefault(term, set()).add((edge_id, v_idx))
+
+        for term in sorted(staged):
+            postings = staged[term]
+            # Pack into pages; map (edge_key, v_idx) -> page numbers.
+            ve_pages: Dict[Tuple[int, int], List[int]] = {}
+            for s in range(0, len(postings), _POSTINGS_PER_PAGE):
+                chunk = postings[s : s + _POSTINGS_PER_PAGE]
+                page_no = self._postings.allocate(
+                    chunk, size_bytes=len(chunk) * _POSTING_BYTES
+                )
+                for edge_key, v_idx, _oid, _off in chunk:
+                    pages = ve_pages.setdefault((edge_key, v_idx), [])
+                    if not pages or pages[-1] != page_no:
+                        pages.append(page_no)
+            # Group by edge key for the tree: value = {v_idx: pages}.
+            per_edge: Dict[int, Dict[int, List[int]]] = {}
+            for (edge_key, v_idx), pages in ve_pages.items():
+                per_edge.setdefault(edge_key, {})[v_idx] = pages
+            entries = sorted(per_edge.items())
+            tree = BPlusTree(self._tree_file, key_bytes=8, value_bytes=8)
+            tree.bulk_load(entries)
+            self._trees[term] = tree
+            self._pages_per_term[term] = len(
+                {p for pages in ve_pages.values() for p in pages}
+            )
+
+        # The paper's rule: rare keywords (inverted file fits in one
+        # page) carry no signature; their bits always pass.
+        for term, pages in self._pages_per_term.items():
+            if pages < self._min_postings_pages:
+                self._unsigned_terms.add(term)
+                self._bits.pop(term, None)
+
+    # ------------------------------------------------------------------
+    # Signature test per virtual edge
+    # ------------------------------------------------------------------
+    def _bit(self, edge_id: int, v_idx: int, term: str) -> bool:
+        if term in self._unsigned_terms:
+            return True
+        bits = self._bits.get(term)
+        if bits is None:
+            return False  # term absent from the whole dataset
+        return (edge_id, v_idx) in bits
+
+    def segments_of(self, edge_id: int) -> List[Tuple[int, int]]:
+        """Virtual-edge object ranges of an edge (single range if uncut)."""
+        segs = self._segments.get(edge_id)
+        if segs is not None:
+            return segs
+        return [(0, max(0, len(self._store.objects_on_edge(edge_id)) - 1))]
+
+    def num_partitioned_edges(self) -> int:
+        return sum(1 for segs in self._segments.values() if len(segs) > 1)
+
+    # ------------------------------------------------------------------
+    # Algorithm 2 with per-virtual-edge signatures
+    # ------------------------------------------------------------------
+    def load_objects(
+        self, edge_id: int, terms: FrozenSet[str]
+    ) -> List[SpatioTextualObject]:
+        segments = self._segments.get(edge_id)
+        if segments is None:
+            return []  # no objects on this edge at all
+        passing = [
+            v_idx
+            for v_idx in range(len(segments))
+            if all(self._bit(edge_id, v_idx, t) for t in terms)
+        ]
+        if not passing:
+            self.counters.edges_pruned_by_signature += 1
+            return []
+        self.counters.edges_probed += 1
+        key = edge_zorder_key(self._curve, self._network, edge_id)
+
+        # One B+-tree descent per query keyword (as in SIF), then only
+        # the postings pages of passing virtual edges are read.
+        per_term_pages: Dict[str, Dict[int, List[int]]] = {}
+        for term in terms:
+            tree = self._trees.get(term)
+            value = tree.search(key) if tree is not None else None
+            per_term_pages[term] = dict(value) if value else {}
+
+        result_ids: Set[int] = set()
+        for v_idx in passing:
+            loaded = 0
+            intersection: Optional[Set[int]] = None
+            for term in terms:
+                pages = per_term_pages[term].get(v_idx)
+                if pages is None:
+                    intersection = set()
+                    continue
+                ids: Set[int] = set()
+                for page_no in pages:
+                    for edge_key, pv_idx, oid, _off in self._postings.read(page_no):
+                        if edge_key == key and pv_idx == v_idx:
+                            loaded += 1
+                            ids.add(oid)
+                intersection = ids if intersection is None else intersection & ids
+            self.counters.objects_loaded += loaded
+            hits = intersection or set()
+            if not hits and loaded:
+                self.counters.false_hits += 1
+                self.counters.false_hit_objects += loaded
+            result_ids.update(hits)
+
+        self.counters.results_returned += len(result_ids)
+        out = [self._store.get(oid) for oid in result_ids]
+        out.sort(key=lambda o: o.position.offset)
+        return out
+
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        return (
+            self._postings.size_bytes
+            + self._tree_file.size_bytes
+            + self.signature_size_bytes()
+        )
+
+    def signature_size_bytes(self) -> int:
+        """Compacted signature size.
+
+        Edge-level bits are compacted against the KD-tree exactly as in
+        SIF; each partitioned edge then adds one bit per extra virtual
+        edge for every signed keyword present on it.
+        """
+        total = 0
+        extra_bits = 0
+        for term, pairs in self._bits.items():
+            edges = {e for e, _v in pairs}
+            total += self._kd.compact_size_bytes(edges)
+            for edge_id in edges:
+                segs = self._segments.get(edge_id)
+                if segs and len(segs) > 1:
+                    extra_bits += len(segs) - 1
+        return total + (extra_bits + 7) // 8

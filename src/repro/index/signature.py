@@ -1,0 +1,128 @@
+"""Per-keyword edge signatures (paper §3.1).
+
+``I(e, t) = 1`` iff at least one object with keyword ``t`` lies on edge
+``e``.  An edge can be skipped — zero I/O — when any query keyword has
+``I(e, t) = 0``, exploiting the AND semantics of the boolean query.
+
+Following the paper:
+
+* no signature is built for a keyword whose inverted file fits into one
+  data page (such keywords cannot prune meaningfully and would bloat the
+  signature file);
+* signature size is accounted by compacting each keyword's bitmap
+  against a KD-tree over edge centres, collapsing subtrees whose leaves
+  share the same bit.
+
+Signatures are memory-resident at query time ("can be easily fit into
+the main memory"), so the test itself costs no I/O.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Set
+
+from ..network.objects import ObjectStore
+from ..spatial.kdtree import KDTreePartition
+from .inverted_file import InvertedFileIndex
+
+__all__ = ["SignatureFile"]
+
+
+class SignatureFile:
+    """Edge signatures for every (sufficiently frequent) keyword."""
+
+    def __init__(
+        self,
+        store: ObjectStore,
+        inverted: Optional[InvertedFileIndex] = None,
+        min_postings_pages: int = 1,
+        kd_partition: Optional[KDTreePartition] = None,
+    ) -> None:
+        """Build signatures from the object store.
+
+        Parameters
+        ----------
+        store:
+            Object store the signatures summarise.
+        inverted:
+            The underlying inverted file; used to apply the "skip
+            keywords whose inverted file fits in one page" rule.  When
+            ``None`` every keyword gets a signature.
+        min_postings_pages:
+            Minimum number of postings pages for a keyword to receive a
+            signature.  The paper skips keywords whose inverted file
+            fits in one page (``2``); that threshold is scale-dependent
+            — at this reproduction's ~1/100 data scale a mid-frequency
+            keyword rarely exceeds one 4 KiB page, so the default signs
+            every keyword (``1``) and the paper rule is opt-in.
+        kd_partition:
+            KD-tree over edge centres used for size accounting; when
+            ``None`` sizes fall back to raw-bitmap accounting.
+        """
+        self._store = store
+        self._kd = kd_partition
+        self._bits: Dict[str, Set[int]] = {}
+        skipped: Set[str] = set()
+        staged: Dict[str, Set[int]] = {}
+        for edge_id in store.edges_with_objects():
+            for obj in store.objects_on_edge(edge_id):
+                for term in obj.keywords:
+                    staged.setdefault(term, set()).add(edge_id)
+        for term, edges in staged.items():
+            if (
+                inverted is not None
+                and inverted.postings_pages_of(term) < min_postings_pages
+            ):
+                skipped.add(term)
+                continue
+            self._bits[term] = edges
+        self._skipped = frozenset(skipped)
+
+    # ------------------------------------------------------------------
+    @property
+    def num_signed_terms(self) -> int:
+        return len(self._bits)
+
+    @property
+    def skipped_terms(self) -> FrozenSet[str]:
+        """Keywords too rare to receive a signature."""
+        return self._skipped
+
+    def has_signature(self, term: str) -> bool:
+        return term in self._bits
+
+    def bit(self, edge_id: int, term: str) -> bool:
+        """``I(e, t)``; keywords without a signature report ``True``."""
+        edges = self._bits.get(term)
+        if edges is None:
+            return True
+        return edge_id in edges
+
+    def test(self, edge_id: int, terms: Iterable[str]) -> bool:
+        """AND-semantics signature test: ``False`` means *prune the edge*."""
+        return all(self.bit(edge_id, t) for t in terms)
+
+    def edges_of(self, term: str) -> FrozenSet[str]:
+        return frozenset(self._bits.get(term, frozenset()))
+
+    def set_bit(self, edge_id: int, term: str) -> None:
+        """Set ``I(e, t) = 1`` (dynamic maintenance).
+
+        An unsigned keyword stays unsigned: its bit already reports
+        ``True`` conservatively, so no update is needed.
+        """
+        if term in self._skipped:
+            return
+        self._bits.setdefault(term, set()).add(edge_id)
+
+    # ------------------------------------------------------------------
+    # Size accounting
+    # ------------------------------------------------------------------
+    def size_bytes(self) -> int:
+        """Compacted signature size across all signed keywords."""
+        if self._kd is not None:
+            return sum(
+                self._kd.compact_size_bytes(edges) for edges in self._bits.values()
+            )
+        num_edges = self._store.network.num_edges
+        return len(self._bits) * ((num_edges + 7) // 8)

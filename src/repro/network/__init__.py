@@ -1,0 +1,33 @@
+"""Road-network substrate: graph model, CCAM layout, objects, distances."""
+
+from .ccam import CCAMStore
+from .distance import (
+    AdjacencyProvider,
+    PairwiseDistanceComputer,
+    network_distance,
+    position_distance_from_node_map,
+    seed_distances,
+    single_source_distances,
+)
+from .graph import Edge, NetworkPosition, Node, RoadNetwork
+from .landmarks import LandmarkIndex
+from .objects import ObjectStore, SpatioTextualObject, build_edge_rtree, snap_point_to_edge
+
+__all__ = [
+    "CCAMStore",
+    "AdjacencyProvider",
+    "PairwiseDistanceComputer",
+    "network_distance",
+    "position_distance_from_node_map",
+    "seed_distances",
+    "single_source_distances",
+    "LandmarkIndex",
+    "Edge",
+    "NetworkPosition",
+    "Node",
+    "RoadNetwork",
+    "ObjectStore",
+    "SpatioTextualObject",
+    "build_edge_rtree",
+    "snap_point_to_edge",
+]

@@ -1,0 +1,194 @@
+"""Network distance computation (paper §2.1, Equation 1).
+
+Distances are the cost of the least costly path.  All traversals go
+through an *adjacency provider* — either the in-memory
+:class:`~repro.network.graph.RoadNetwork` (uncharged; builders, tests)
+or the disk-resident :class:`~repro.network.ccam.CCAMStore` (every
+adjacency access charged to the I/O model, as in the paper's
+experiments).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterable, Optional, Protocol, Sequence, Tuple
+
+from .graph import NetworkPosition, RoadNetwork
+
+__all__ = [
+    "AdjacencyProvider",
+    "seed_distances",
+    "single_source_distances",
+    "position_distance_from_node_map",
+    "network_distance",
+    "PairwiseDistanceComputer",
+]
+
+INF = math.inf
+
+
+class AdjacencyProvider(Protocol):
+    """Anything that can enumerate ``(edge_id, other_node, weight)``."""
+
+    def neighbors(self, node_id: int) -> Sequence[Tuple[int, int, float]]:
+        ...
+
+
+def seed_distances(
+    network: RoadNetwork, pos: NetworkPosition
+) -> Dict[int, float]:
+    """Distances from a network position to its edge's two end-nodes."""
+    edge = network.edge(pos.edge_id)
+    return {edge.n1: pos.offset, edge.n2: edge.weight - pos.offset}
+
+
+def single_source_distances(
+    provider: AdjacencyProvider,
+    network: RoadNetwork,
+    source: NetworkPosition,
+    cutoff: float = INF,
+) -> Dict[int, float]:
+    """Bounded Dijkstra from a network position.
+
+    Returns the distance of every node within ``cutoff`` of ``source``.
+    """
+    dist: Dict[int, float] = {}
+    heap: list = []
+    for node_id, d in seed_distances(network, source).items():
+        if d <= cutoff:
+            heapq.heappush(heap, (d, node_id))
+    while heap:
+        d, node_id = heapq.heappop(heap)
+        if node_id in dist:
+            continue
+        dist[node_id] = d
+        for _edge_id, other, weight in provider.neighbors(node_id):
+            nd = d + weight
+            if nd <= cutoff and other not in dist:
+                heapq.heappush(heap, (nd, other))
+    return dist
+
+
+def position_distance_from_node_map(
+    network: RoadNetwork,
+    node_dist: Dict[int, float],
+    target: NetworkPosition,
+    source: Optional[NetworkPosition] = None,
+) -> float:
+    """Evaluate Equation 1 given a map of node distances.
+
+    ``δ(q, p) = min(δ(q, n1) + w(n1, p), δ(q, n2) + w(n2, p))`` for a
+    target ``p`` on edge ``(n1, n2)``.  When ``source`` lies on the same
+    edge the along-edge distance ``w(q, p)`` is used (paper's same-edge
+    rule) if it beats the endpoint paths.
+    """
+    edge = network.edge(target.edge_id)
+    best = INF
+    d1 = node_dist.get(edge.n1)
+    if d1 is not None:
+        best = min(best, d1 + target.offset)
+    d2 = node_dist.get(edge.n2)
+    if d2 is not None:
+        best = min(best, d2 + (edge.weight - target.offset))
+    if source is not None and source.edge_id == target.edge_id:
+        best = min(best, abs(source.offset - target.offset))
+    return best
+
+
+def network_distance(
+    provider: AdjacencyProvider,
+    network: RoadNetwork,
+    a: NetworkPosition,
+    b: NetworkPosition,
+    cutoff: float = INF,
+) -> float:
+    """Network distance ``δ(a, b)``; ``inf`` when beyond ``cutoff``.
+
+    Runs a Dijkstra from ``a`` with early termination at ``b``'s edge
+    end-nodes.  On a shared edge the along-edge distance short-circuits
+    the search (paper: ``δ(q, p) = w(q, p)`` if both lie on one edge).
+    """
+    if a.edge_id == b.edge_id:
+        return abs(a.offset - b.offset)
+    edge_b = network.edge(b.edge_id)
+    targets = {edge_b.n1, edge_b.n2}
+    target_dist: Dict[int, float] = {}
+
+    dist: Dict[int, float] = {}
+    heap: list = []
+    for node_id, d in seed_distances(network, a).items():
+        heapq.heappush(heap, (d, node_id))
+    best = INF
+    while heap:
+        d, node_id = heapq.heappop(heap)
+        if node_id in dist:
+            continue
+        if d > cutoff or d >= best:
+            break
+        dist[node_id] = d
+        if node_id in targets:
+            target_dist[node_id] = d
+            via = d + (
+                b.offset if node_id == edge_b.n1 else edge_b.weight - b.offset
+            )
+            best = min(best, via)
+            if len(target_dist) == len(targets):
+                break
+        for _edge_id, other, weight in provider.neighbors(node_id):
+            nd = d + weight
+            if nd <= cutoff and nd < best and other not in dist:
+                heapq.heappush(heap, (nd, other))
+    return best if best <= cutoff else INF
+
+
+class PairwiseDistanceComputer:
+    """Caches single-source node-distance maps for pairwise queries.
+
+    Diversified search needs many ``δ(o_i, o_j)`` evaluations over the
+    same small set of candidates (paper §4.1 calls this "cost
+    expensive").  Each distinct source runs one bounded Dijkstra whose
+    node map is cached; subsequent pairs against that source are O(1).
+    """
+
+    def __init__(
+        self,
+        provider: AdjacencyProvider,
+        network: RoadNetwork,
+        cutoff: float = INF,
+    ) -> None:
+        self._provider = provider
+        self._network = network
+        self._cutoff = cutoff
+        self._maps: Dict[Tuple[int, float], Dict[int, float]] = {}
+        self.dijkstra_runs = 0
+
+    def _map_for(self, pos: NetworkPosition) -> Dict[int, float]:
+        key = (pos.edge_id, pos.offset)
+        node_map = self._maps.get(key)
+        if node_map is None:
+            node_map = single_source_distances(
+                self._provider, self._network, pos, cutoff=self._cutoff
+            )
+            self._maps[key] = node_map
+            self.dijkstra_runs += 1
+        return node_map
+
+    def distance(self, a: NetworkPosition, b: NetworkPosition) -> float:
+        """``δ(a, b)``, or ``inf`` when it exceeds the cutoff."""
+        if a.edge_id == b.edge_id:
+            return abs(a.offset - b.offset)
+        node_map = self._map_for(a)
+        d = position_distance_from_node_map(self._network, node_map, b, source=a)
+        return d if d <= self._cutoff else INF
+
+    def pairwise(
+        self, positions: Iterable[NetworkPosition]
+    ) -> Dict[Tuple[int, int], float]:
+        """All pairwise distances among ``positions`` (by index)."""
+        pos_list = list(positions)
+        out: Dict[Tuple[int, int], float] = {}
+        for i in range(len(pos_list)):
+            for j in range(i + 1, len(pos_list)):
+                out[(i, j)] = self.distance(pos_list[i], pos_list[j])
+        return out

@@ -1,0 +1,244 @@
+"""Road network model (paper §2.1).
+
+A road network is a weighted graph ``G = (V, E, W)``: nodes are road
+intersections with 2-d coordinates, edges are bidirectional road
+segments with a positive *length* (geometric) and a positive *weight*
+(cost — distance or travel time).  Spatio-textual objects and query
+points lie on edges; their location is a :class:`NetworkPosition`, an
+``(edge, offset)`` pair where the offset is measured in *weight* units
+from the edge's reference node (the end-node with the smaller id).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..errors import GraphError
+from ..spatial.geometry import MBR, Point
+
+__all__ = ["Node", "Edge", "NetworkPosition", "RoadNetwork"]
+
+
+@dataclass(frozen=True)
+class Node:
+    """A road intersection."""
+
+    node_id: int
+    point: Point
+
+
+@dataclass(frozen=True)
+class Edge:
+    """A bidirectional road segment between two intersections.
+
+    ``n1`` is always the *reference node* (smaller id); object offsets
+    are measured from it.  ``length`` is the geometric length of the
+    segment while ``weight`` is its traversal cost — they coincide when
+    the cost model is distance.
+    """
+
+    edge_id: int
+    n1: int
+    n2: int
+    length: float
+    weight: float
+    p1: Point
+    p2: Point
+
+    def __post_init__(self) -> None:
+        if self.n1 >= self.n2:
+            raise GraphError(
+                f"edge {self.edge_id}: reference node must have the smaller id "
+                f"({self.n1} >= {self.n2})"
+            )
+        if self.length <= 0 or self.weight <= 0:
+            raise GraphError(
+                f"edge {self.edge_id}: length and weight must be positive"
+            )
+
+    @property
+    def mbr(self) -> MBR:
+        return MBR(
+            min(self.p1.x, self.p2.x),
+            min(self.p1.y, self.p2.y),
+            max(self.p1.x, self.p2.x),
+            max(self.p1.y, self.p2.y),
+        )
+
+    @property
+    def center(self) -> Point:
+        return Point((self.p1.x + self.p2.x) / 2.0, (self.p1.y + self.p2.y) / 2.0)
+
+    def point_at_fraction(self, t: float) -> Point:
+        """Point at fractional position ``t in [0, 1]`` from ``n1``."""
+        return Point(
+            self.p1.x + t * (self.p2.x - self.p1.x),
+            self.p1.y + t * (self.p2.y - self.p1.y),
+        )
+
+    def weight_offset_from_length(self, length_offset: float) -> float:
+        """Convert a length offset from ``n1`` into a weight offset.
+
+        Paper footnote 1: ``w(n1, p) = w(n1, n2) * d(n1, p) / d(n1, n2)``.
+        """
+        return self.weight * (length_offset / self.length)
+
+
+@dataclass(frozen=True)
+class NetworkPosition:
+    """A location on the network: an edge plus a weight-offset from ``n1``."""
+
+    edge_id: int
+    offset: float  # in weight units, 0 at the reference node n1
+
+    def __post_init__(self) -> None:
+        if self.offset < 0:
+            raise GraphError(f"negative offset {self.offset} on edge {self.edge_id}")
+
+
+class RoadNetwork:
+    """In-memory road network with adjacency lists.
+
+    This is the *logical* graph.  Query processing never touches it
+    directly: it goes through the CCAM disk layout
+    (:class:`repro.network.ccam.CCAMStore`) so adjacency accesses are
+    charged to the I/O model.  The in-memory form is used by builders,
+    dataset generators and tests.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: Dict[int, Node] = {}
+        self._edges: Dict[int, Edge] = {}
+        self._adjacency: Dict[int, List[Tuple[int, int, float]]] = {}
+        self._edge_by_nodes: Dict[Tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_node(self, node_id: int, x: float, y: float) -> Node:
+        if node_id in self._nodes:
+            raise GraphError(f"duplicate node id {node_id}")
+        node = Node(node_id, Point(x, y))
+        self._nodes[node_id] = node
+        self._adjacency[node_id] = []
+        return node
+
+    def add_edge(
+        self,
+        node_a: int,
+        node_b: int,
+        weight: Optional[float] = None,
+        length: Optional[float] = None,
+    ) -> Edge:
+        """Add a bidirectional edge between two existing nodes.
+
+        ``length`` defaults to the Euclidean distance between the
+        end-points; ``weight`` defaults to ``length`` (distance cost
+        model).
+        """
+        if node_a == node_b:
+            raise GraphError(f"self-loop at node {node_a}")
+        for nid in (node_a, node_b):
+            if nid not in self._nodes:
+                raise GraphError(f"unknown node {nid}")
+        n1, n2 = (node_a, node_b) if node_a < node_b else (node_b, node_a)
+        if (n1, n2) in self._edge_by_nodes:
+            raise GraphError(f"duplicate edge ({n1}, {n2})")
+        p1, p2 = self._nodes[n1].point, self._nodes[n2].point
+        if length is None:
+            length = p1.distance_to(p2)
+            if length == 0:
+                raise GraphError(f"zero-length edge ({n1}, {n2})")
+        if weight is None:
+            weight = length
+        edge = Edge(len(self._edges), n1, n2, length, weight, p1, p2)
+        self._edges[edge.edge_id] = edge
+        self._adjacency[n1].append((edge.edge_id, n2, weight))
+        self._adjacency[n2].append((edge.edge_id, n1, weight))
+        self._edge_by_nodes[(n1, n2)] = edge.edge_id
+        return edge
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def node(self, node_id: int) -> Node:
+        try:
+            return self._nodes[node_id]
+        except KeyError:
+            raise GraphError(f"unknown node {node_id}") from None
+
+    def edge(self, edge_id: int) -> Edge:
+        try:
+            return self._edges[edge_id]
+        except KeyError:
+            raise GraphError(f"unknown edge {edge_id}") from None
+
+    def nodes(self) -> Iterator[Node]:
+        return iter(self._nodes.values())
+
+    def edges(self) -> Iterator[Edge]:
+        return iter(self._edges.values())
+
+    def neighbors(self, node_id: int) -> List[Tuple[int, int, float]]:
+        """Adjacency list of ``node_id`` as ``(edge_id, other, weight)``."""
+        try:
+            return self._adjacency[node_id]
+        except KeyError:
+            raise GraphError(f"unknown node {node_id}") from None
+
+    def edge_between(self, node_a: int, node_b: int) -> Optional[Edge]:
+        n1, n2 = (node_a, node_b) if node_a < node_b else (node_b, node_a)
+        edge_id = self._edge_by_nodes.get((n1, n2))
+        return None if edge_id is None else self._edges[edge_id]
+
+    def degree(self, node_id: int) -> int:
+        return len(self.neighbors(node_id))
+
+    # ------------------------------------------------------------------
+    # Positions
+    # ------------------------------------------------------------------
+    def position_point(self, pos: NetworkPosition) -> Point:
+        """Geometric point of a network position."""
+        edge = self.edge(pos.edge_id)
+        if pos.offset > edge.weight + 1e-9:
+            raise GraphError(
+                f"offset {pos.offset} exceeds weight {edge.weight} "
+                f"of edge {pos.edge_id}"
+            )
+        t = min(1.0, pos.offset / edge.weight)
+        return edge.point_at_fraction(t)
+
+    def node_position(self, node_id: int) -> NetworkPosition:
+        """A network position located exactly at a node."""
+        adj = self.neighbors(node_id)
+        if not adj:
+            raise GraphError(f"node {node_id} is isolated")
+        edge_id, _, _ = adj[0]
+        edge = self.edge(edge_id)
+        offset = 0.0 if edge.n1 == node_id else edge.weight
+        return NetworkPosition(edge_id, offset)
+
+    def validate(self) -> None:
+        """Sanity-check internal consistency; raises on corruption."""
+        for edge in self._edges.values():
+            for nid in (edge.n1, edge.n2):
+                if nid not in self._nodes:
+                    raise GraphError(f"edge {edge.edge_id} references unknown {nid}")
+        for node_id, adj in self._adjacency.items():
+            for edge_id, other, weight in adj:
+                edge = self._edges.get(edge_id)
+                if edge is None:
+                    raise GraphError(f"adjacency references unknown edge {edge_id}")
+                if node_id not in (edge.n1, edge.n2) or other not in (edge.n1, edge.n2):
+                    raise GraphError(f"adjacency/edge mismatch on edge {edge_id}")
+                if abs(weight - edge.weight) > 1e-9:
+                    raise GraphError(f"adjacency weight mismatch on edge {edge_id}")

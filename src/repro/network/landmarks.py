@@ -1,0 +1,129 @@
+"""Landmark (ALT-style) network-distance bounds.
+
+The paper's COM algorithm prunes with the triangle inequality through
+the query point: ``δ(a, b) ≤ δ(a, q) + δ(q, b)``.  Landmarks give
+strictly tighter machinery: pre-compute exact distances from a few
+well-spread *landmark* nodes to every node, then for any two positions
+
+``LB(a, b) = max_L |δ(L, a) − δ(L, b)|``   (reverse triangle inequality)
+``UB(a, b) = min_L  δ(L, a) + δ(L, b)``    (triangle inequality)
+
+Both bounds are exact consequences of the metric, so plugging the
+upper bound into COM's θ-skip preserves the algorithm's answers while
+skipping more exact pairwise Dijkstras — the ablation benchmark
+``benchmarks/test_ablation_landmarks.py`` quantifies the saving.
+
+Landmark selection uses the standard farthest-point heuristic; the
+pre-computation runs one full Dijkstra per landmark through the given
+adjacency provider (charged I/O when the provider is the CCAM store,
+i.e. an honest index-construction cost).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import GraphError
+from .distance import AdjacencyProvider
+from .graph import NetworkPosition, RoadNetwork
+
+__all__ = ["LandmarkIndex"]
+
+
+def _full_dijkstra(
+    provider: AdjacencyProvider, source_node: int
+) -> Dict[int, float]:
+    dist: Dict[int, float] = {}
+    heap: List[Tuple[float, int]] = [(0.0, source_node)]
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in dist:
+            continue
+        dist[node] = d
+        for _edge, other, weight in provider.neighbors(node):
+            if other not in dist:
+                heapq.heappush(heap, (d + weight, other))
+    return dist
+
+
+class LandmarkIndex:
+    """Distance bounds from a set of pre-computed landmark maps."""
+
+    def __init__(
+        self,
+        provider: AdjacencyProvider,
+        network: RoadNetwork,
+        num_landmarks: int = 8,
+        seed_node: Optional[int] = None,
+    ) -> None:
+        if num_landmarks < 1:
+            raise GraphError("need at least one landmark")
+        if network.num_nodes == 0:
+            raise GraphError("cannot build landmarks on an empty network")
+        self._network = network
+        self._landmarks: List[int] = []
+        self._maps: List[Dict[int, float]] = []
+
+        start = seed_node if seed_node is not None else next(
+            iter(n.node_id for n in network.nodes())
+        )
+        current = start
+        min_dist: Dict[int, float] = {}
+        for _ in range(min(num_landmarks, network.num_nodes)):
+            node_map = _full_dijkstra(provider, current)
+            self._landmarks.append(current)
+            self._maps.append(node_map)
+            # Farthest-point step: the next landmark maximises the
+            # distance to the closest landmark chosen so far.
+            for node, d in node_map.items():
+                prev = min_dist.get(node)
+                if prev is None or d < prev:
+                    min_dist[node] = d
+            if not min_dist:
+                break
+            current = max(min_dist, key=min_dist.get)
+
+    # ------------------------------------------------------------------
+    @property
+    def landmarks(self) -> Sequence[int]:
+        return tuple(self._landmarks)
+
+    def _position_distances(self, pos: NetworkPosition) -> List[float]:
+        """Exact δ(L, pos) for every landmark (Equation 1)."""
+        edge = self._network.edge(pos.edge_id)
+        out = []
+        for node_map in self._maps:
+            d1 = node_map.get(edge.n1)
+            d2 = node_map.get(edge.n2)
+            best = float("inf")
+            if d1 is not None:
+                best = d1 + pos.offset
+            if d2 is not None:
+                best = min(best, d2 + (edge.weight - pos.offset))
+            out.append(best)
+        return out
+
+    def bounds(
+        self, a: NetworkPosition, b: NetworkPosition
+    ) -> Tuple[float, float]:
+        """``(lower, upper)`` bounds on ``δ(a, b)``."""
+        if a.edge_id == b.edge_id:
+            d = abs(a.offset - b.offset)
+            return d, d
+        da = self._position_distances(a)
+        db = self._position_distances(b)
+        lower = 0.0
+        upper = float("inf")
+        for x, y in zip(da, db):
+            if x == float("inf") or y == float("inf"):
+                continue
+            lower = max(lower, abs(x - y))
+            upper = min(upper, x + y)
+        return lower, upper
+
+    def lower_bound(self, a: NetworkPosition, b: NetworkPosition) -> float:
+        return self.bounds(a, b)[0]
+
+    def upper_bound(self, a: NetworkPosition, b: NetworkPosition) -> float:
+        return self.bounds(a, b)[1]

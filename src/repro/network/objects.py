@@ -1,0 +1,166 @@
+"""Spatio-textual objects and the object store (paper §2.1).
+
+An object is a point on an edge plus a set of keywords.  The
+:class:`ObjectStore` keeps the master copy of every object, the
+per-edge object lists ordered by offset (the "visiting order along the
+edge" that §3.3 partitions), and snapping of raw 2-d points onto their
+closest edges via the network R-tree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Tuple
+
+from ..errors import DatasetError, GraphError
+from ..spatial.geometry import Point, project_onto_segment
+from ..spatial.rtree import RTree, RTreeEntry
+from .graph import Edge, NetworkPosition, RoadNetwork
+
+__all__ = ["SpatioTextualObject", "ObjectStore", "snap_point_to_edge"]
+
+
+@dataclass(frozen=True)
+class SpatioTextualObject:
+    """A spatio-textual object: a network position and a keyword set."""
+
+    object_id: int
+    position: NetworkPosition
+    keywords: FrozenSet[str]
+
+    def contains_all(self, terms: Iterable[str]) -> bool:
+        """AND semantics of the boolean SK query."""
+        return all(t in self.keywords for t in terms)
+
+    def contains_any(self, terms: Iterable[str]) -> bool:
+        return any(t in self.keywords for t in terms)
+
+
+def snap_point_to_edge(
+    network: RoadNetwork, edge_rtree: RTree, p: Point, candidates: int = 8
+) -> NetworkPosition:
+    """Snap a raw 2-d point onto its closest road segment.
+
+    Paper §5: "we move an object to its closest road segment if it does
+    not lie on any edge".  The network R-tree prunes in a
+    branch-and-bound fashion (§2.2); ``candidates`` nearest MBRs are
+    refined with exact point-segment projection.
+    """
+    entries = edge_rtree.nearest(p, k=candidates)
+    if not entries:
+        raise GraphError("cannot snap onto an empty network")
+    best: Optional[Tuple[float, Edge, float]] = None
+    for entry in entries:
+        edge = network.edge(entry.payload)
+        closest, t = project_onto_segment(p, edge.p1, edge.p2)
+        dist = p.distance_to(closest)
+        if best is None or dist < best[0]:
+            best = (dist, edge, t)
+    _, edge, t = best
+    return NetworkPosition(edge.edge_id, edge.weight * t)
+
+
+class ObjectStore:
+    """Master store of spatio-textual objects, grouped by edge.
+
+    Objects on the same edge are kept sorted by offset, matching the
+    paper's "objects indexed by their visiting order along the edge"
+    (§3.3).  The store itself is an in-memory catalogue; disk-resident
+    access paths over it are built by the index implementations in
+    :mod:`repro.index`.
+    """
+
+    def __init__(self, network: RoadNetwork) -> None:
+        self._network = network
+        self._objects: Dict[int, SpatioTextualObject] = {}
+        self._by_edge: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add(
+        self, position: NetworkPosition, keywords: Iterable[str]
+    ) -> SpatioTextualObject:
+        """Add an object at ``position``; keywords must be non-empty."""
+        kw = frozenset(keywords)
+        if not kw:
+            raise DatasetError("an object must carry at least one keyword")
+        edge = self._network.edge(position.edge_id)
+        if position.offset > edge.weight + 1e-9:
+            raise DatasetError(
+                f"object offset {position.offset} beyond edge weight {edge.weight}"
+            )
+        obj = SpatioTextualObject(len(self._objects), position, kw)
+        self._objects[obj.object_id] = obj
+        self._by_edge.setdefault(position.edge_id, []).append(obj.object_id)
+        return obj
+
+    def freeze(self) -> None:
+        """Sort every per-edge list by offset (call once after loading)."""
+        for edge_id in self._by_edge:
+            self.resort_edge(edge_id)
+
+    def resort_edge(self, edge_id: int) -> None:
+        """Restore the visiting order of one edge after an insertion."""
+        ids = self._by_edge.get(edge_id)
+        if ids:
+            ids.sort(key=lambda oid: self._objects[oid].position.offset)
+
+    # ------------------------------------------------------------------
+    # Accessors
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._objects)
+
+    def __iter__(self) -> Iterator[SpatioTextualObject]:
+        return iter(self._objects.values())
+
+    @property
+    def network(self) -> RoadNetwork:
+        return self._network
+
+    def get(self, object_id: int) -> SpatioTextualObject:
+        try:
+            return self._objects[object_id]
+        except KeyError:
+            raise DatasetError(f"unknown object {object_id}") from None
+
+    def objects_on_edge(self, edge_id: int) -> List[SpatioTextualObject]:
+        """Objects on ``edge_id`` ordered by offset from the reference node."""
+        return [self._objects[oid] for oid in self._by_edge.get(edge_id, [])]
+
+    def edges_with_objects(self) -> Iterator[int]:
+        return iter(self._by_edge.keys())
+
+    def object_point(self, object_id: int) -> Point:
+        return self._network.position_point(self.get(object_id).position)
+
+    # ------------------------------------------------------------------
+    # Statistics (Table 2)
+    # ------------------------------------------------------------------
+    def vocabulary(self) -> FrozenSet[str]:
+        vocab = set()
+        for obj in self._objects.values():
+            vocab.update(obj.keywords)
+        return frozenset(vocab)
+
+    def keyword_frequencies(self) -> Dict[str, int]:
+        """Term frequency (number of objects containing each keyword)."""
+        freq: Dict[str, int] = {}
+        for obj in self._objects.values():
+            for term in obj.keywords:
+                freq[term] = freq.get(term, 0) + 1
+        return freq
+
+    def average_keywords_per_object(self) -> float:
+        if not self._objects:
+            return 0.0
+        return sum(len(o.keywords) for o in self._objects.values()) / len(self._objects)
+
+
+def build_edge_rtree(network: RoadNetwork, file) -> RTree:
+    """Bulk load the network R-tree over edge MBRs (paper §2.2)."""
+    rtree = RTree(file)
+    entries = [RTreeEntry(edge.mbr, edge.edge_id) for edge in network.edges()]
+    rtree.bulk_load(entries)
+    return rtree

@@ -1,0 +1,17 @@
+"""Simulated disk substrate: pages, buffer pool, I/O stats, B+-tree."""
+
+from .bplustree import BPlusTree
+from .buffer import BufferPool
+from .iostats import IOSnapshot, IOStats
+from .pagefile import PAGE_SIZE, DiskManager, Page, PageFile
+
+__all__ = [
+    "BPlusTree",
+    "BufferPool",
+    "IOSnapshot",
+    "IOStats",
+    "PAGE_SIZE",
+    "DiskManager",
+    "Page",
+    "PageFile",
+]

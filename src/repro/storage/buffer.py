@@ -1,0 +1,73 @@
+"""LRU buffer pool for the simulated disk.
+
+The paper uses "an LRU memory buffer whose size is set to 2% of the
+network dataset size".  Keys are ``(file_name, page_no)`` pairs shared
+across every structure of a database, so hot pages of the road network
+compete with inverted-file pages exactly as they would in one real
+buffer pool.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable, Tuple
+
+__all__ = ["BufferPool"]
+
+
+class BufferPool:
+    """A counting LRU cache of page identifiers.
+
+    The pool stores only page *identities* (payloads stay in their page
+    files); its job is to decide whether an access is a buffer hit or a
+    physical read, which is all the I/O model needs.
+    """
+
+    def __init__(self, capacity: int = 1024) -> None:
+        if capacity < 0:
+            raise ValueError("buffer capacity must be non-negative")
+        self._capacity = capacity
+        self._lru: "OrderedDict[Hashable, None]" = OrderedDict()
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        return len(self._lru)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._lru
+
+    def access(self, key: Tuple[str, int]) -> bool:
+        """Touch a page; returns ``True`` on a buffer hit.
+
+        On a miss the page is admitted and the least recently used page
+        is evicted if the pool is full.  A zero-capacity pool never
+        hits (every access is a physical read).
+        """
+        if self._capacity == 0:
+            return False
+        if key in self._lru:
+            self._lru.move_to_end(key)
+            return True
+        self._lru[key] = None
+        if len(self._lru) > self._capacity:
+            self._lru.popitem(last=False)
+        return False
+
+    def evict_file(self, file_name: str) -> None:
+        """Evict every buffered page of one file (file drop)."""
+        stale = [k for k in self._lru if k[0] == file_name]
+        for key in stale:
+            del self._lru[key]
+
+    def resize(self, capacity: int) -> None:
+        if capacity < 0:
+            raise ValueError("buffer capacity must be non-negative")
+        self._capacity = capacity
+        while len(self._lru) > self._capacity:
+            self._lru.popitem(last=False)
+
+    def clear(self) -> None:
+        self._lru.clear()

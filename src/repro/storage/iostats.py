@@ -1,0 +1,77 @@
+"""I/O accounting for the simulated disk.
+
+The paper evaluates disk-resident indexes and reports the *number of
+disk accesses* next to response time.  Every page access in this
+library flows through an :class:`IOStats` instance so experiments can
+report logical reads, physical reads (buffer misses) and writes, broken
+down by category (road network, inverted file, R-tree, ...).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict
+
+__all__ = ["IOStats", "IOSnapshot"]
+
+
+@dataclass(frozen=True)
+class IOSnapshot:
+    """An immutable snapshot of the counters, used for deltas."""
+
+    logical_reads: int
+    physical_reads: int
+    writes: int
+    buffer_hits: int
+    physical_by_category: Dict[str, int]
+
+    def __sub__(self, other: "IOSnapshot") -> "IOSnapshot":
+        by_cat = Counter(self.physical_by_category)
+        by_cat.subtract(other.physical_by_category)
+        return IOSnapshot(
+            logical_reads=self.logical_reads - other.logical_reads,
+            physical_reads=self.physical_reads - other.physical_reads,
+            writes=self.writes - other.writes,
+            buffer_hits=self.buffer_hits - other.buffer_hits,
+            physical_by_category={k: v for k, v in by_cat.items() if v},
+        )
+
+
+@dataclass
+class IOStats:
+    """Mutable I/O counters shared by every structure of one database."""
+
+    logical_reads: int = 0
+    physical_reads: int = 0
+    writes: int = 0
+    buffer_hits: int = 0
+    physical_by_category: Counter = field(default_factory=Counter)
+
+    def record_read(self, category: str, hit: bool) -> None:
+        """Record one logical page read; ``hit`` marks a buffer hit."""
+        self.logical_reads += 1
+        if hit:
+            self.buffer_hits += 1
+        else:
+            self.physical_reads += 1
+            self.physical_by_category[category] += 1
+
+    def record_write(self, category: str) -> None:
+        self.writes += 1
+
+    def snapshot(self) -> IOSnapshot:
+        return IOSnapshot(
+            logical_reads=self.logical_reads,
+            physical_reads=self.physical_reads,
+            writes=self.writes,
+            buffer_hits=self.buffer_hits,
+            physical_by_category=dict(self.physical_by_category),
+        )
+
+    def reset(self) -> None:
+        self.logical_reads = 0
+        self.physical_reads = 0
+        self.writes = 0
+        self.buffer_hits = 0
+        self.physical_by_category.clear()

@@ -1,0 +1,6 @@
+"""Textual substrate: vocabularies and Zipf keyword generation."""
+
+from .vocabulary import Vocabulary, make_term_names
+from .zipf import ZipfSampler, zipf_probabilities
+
+__all__ = ["Vocabulary", "make_term_names", "ZipfSampler", "zipf_probabilities"]

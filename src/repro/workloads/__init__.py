@@ -1,0 +1,13 @@
+"""Query workload generation and execution."""
+
+from .queries import WorkloadConfig, generate_diversified_queries, generate_sk_queries
+from .runner import WorkloadReport, run_diversified_workload, run_sk_workload
+
+__all__ = [
+    "WorkloadConfig",
+    "generate_diversified_queries",
+    "generate_sk_queries",
+    "WorkloadReport",
+    "run_diversified_workload",
+    "run_sk_workload",
+]

@@ -1,0 +1,191 @@
+"""Tests for the incremental core-pair maintenance (Algorithm 5).
+
+The key property (paper §4.2): processing a stream of objects
+incrementally must yield the same objective value as running the greedy
+Algorithm 1 on the full set, and θ_T must grow monotonically.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.core_pairs import CorePairMaintainer
+from repro.core.diversify import greedy_diversify
+from repro.core.objective import DiversificationObjective
+from repro.core.queries import ResultItem
+from repro.network.graph import NetworkPosition
+from repro.network.objects import SpatioTextualObject
+
+
+def make_stream(seed, n, delta_max=100.0):
+    """Synthetic objects in the plane around the query point (origin).
+
+    Distances to the query are the radii; pair distances are Euclidean,
+    so the triangle inequality through the query — which Algorithm 5's
+    cheap θ upper bound relies on, and which every road-network metric
+    satisfies — holds by construction.  Objects arrive in non-decreasing
+    distance order, as in the INE stream.
+    """
+    rng = np.random.default_rng(seed)
+    coords = rng.uniform(-delta_max / 1.5, delta_max / 1.5, size=(n, 2))
+    radii = np.hypot(coords[:, 0], coords[:, 1])
+    order = np.argsort(radii)
+    coords, radii = coords[order], radii[order]
+    items = []
+    for i in range(n):
+        obj = SpatioTextualObject(i, NetworkPosition(0, 0.0), frozenset({"x"}))
+        items.append(ResultItem(obj, float(radii[i])))
+    points = {i: coords[i] for i in range(n)}
+
+    def pd(a, b):
+        pa = points[a.object.object_id]
+        pb = points[b.object.object_id]
+        return float(np.hypot(pa[0] - pb[0], pa[1] - pb[1]))
+
+    return items, pd
+
+
+def run_maintainer(items, pd, k, lam=0.8, delta_max=100.0):
+    obj = DiversificationObjective(lam, delta_max)
+    m = CorePairMaintainer(k, obj, pd)
+    m.bootstrap(items[:k])
+    thetas = [m.theta_t]
+    for it in items[k:]:
+        m.add(it)
+        thetas.append(m.theta_t)
+    return m, obj, thetas
+
+
+def objective_of(items, pd, obj):
+    dists = [it.distance for it in items]
+
+    def pair(i, j):
+        return pd(items[i], items[j])
+
+    return obj.objective(dists, pair)
+
+
+class TestBasics:
+    def test_k_validation(self):
+        with pytest.raises(ValueError):
+            CorePairMaintainer(1, DiversificationObjective(0.5, 10), lambda a, b: 0)
+
+    def test_bootstrap_twice_rejected(self):
+        items, pd = make_stream(0, 6)
+        m, _obj, _ = run_maintainer(items, pd, k=4)
+        with pytest.raises(ValueError):
+            m.bootstrap(items[:4])
+
+    def test_duplicate_arrival_ignored(self):
+        items, pd = make_stream(1, 8)
+        obj = DiversificationObjective(0.8, 100)
+        m = CorePairMaintainer(4, obj, pd)
+        m.bootstrap(items[:4])
+        m.add(items[5])
+        before = m.theta_t
+        m.add(items[5])
+        assert m.theta_t == before
+
+    def test_core_objects_count(self):
+        items, pd = make_stream(2, 20)
+        m, _obj, _ = run_maintainer(items, pd, k=6)
+        assert len(m.core_objects()) == 6
+
+    def test_odd_k_fills_with_closest(self):
+        items, pd = make_stream(3, 20)
+        m, _obj, _ = run_maintainer(items, pd, k=5)
+        out = m.core_objects()
+        assert len(out) == 5
+
+    def test_fewer_objects_than_k(self):
+        items, pd = make_stream(4, 3)
+        obj = DiversificationObjective(0.8, 100)
+        m = CorePairMaintainer(8, obj, pd)
+        m.bootstrap(items)
+        assert len(m.core_objects()) == 3
+
+    def test_prune_core_object_rejected(self):
+        items, pd = make_stream(5, 10)
+        m, _obj, _ = run_maintainer(items, pd, k=4)
+        core_id = m.pairs[0].u.object.object_id
+        with pytest.raises(ValueError):
+            m.prune(core_id)
+
+    def test_prune_removes_from_active(self):
+        items, pd = make_stream(6, 10)
+        m, _obj, _ = run_maintainer(items, pd, k=4)
+        non_core = [
+            it.object.object_id
+            for it in m.active_objects()
+            if not m.is_core(it.object.object_id)
+        ]
+        if not non_core:
+            pytest.skip("all objects became core")
+        m.prune(non_core[0])
+        assert all(
+            it.object.object_id != non_core[0] for it in m.active_objects()
+        )
+
+
+class TestMonotonicity:
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_theta_t_grows_monotonically(self, seed):
+        items, pd = make_stream(seed, 40)
+        _m, _obj, thetas = run_maintainer(items, pd, k=8)
+        finite = [t for t in thetas if t != float("-inf")]
+        assert finite == sorted(finite)
+
+
+class TestEquivalenceWithBatchGreedy:
+    @pytest.mark.parametrize("seed,k,lam", [
+        (0, 4, 0.8), (1, 4, 0.5), (2, 6, 0.8), (3, 8, 0.9), (4, 6, 0.0),
+        (5, 4, 1.0), (6, 10, 0.7),
+    ])
+    def test_incremental_matches_batch_objective(self, seed, k, lam):
+        items, pd = make_stream(seed, 30)
+        obj = DiversificationObjective(lam, 100)
+        m = CorePairMaintainer(k, obj, pd)
+        m.bootstrap(items[:k])
+        for it in items[k:]:
+            m.add(it)
+        inc = objective_of(m.core_objects()[:k], pd, obj)
+        batch = objective_of(greedy_diversify(items, k, obj, pd), pd, obj)
+        assert inc == pytest.approx(batch, rel=1e-9)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_property_incremental_equals_batch(self, seed):
+        items, pd = make_stream(seed, 24)
+        obj = DiversificationObjective(0.8, 100)
+        m = CorePairMaintainer(6, obj, pd)
+        m.bootstrap(items[:6])
+        for it in items[6:]:
+            m.add(it)
+        inc = objective_of(m.core_objects()[:6], pd, obj)
+        batch = objective_of(greedy_diversify(items, 6, obj, pd), pd, obj)
+        assert inc == pytest.approx(batch, rel=1e-9)
+
+
+class TestUpperBoundSkip:
+    def test_skipping_does_not_change_result(self):
+        """The triangle-inequality skip must be semantically invisible."""
+        items, pd = make_stream(11, 30)
+        obj = DiversificationObjective(0.8, 100)
+
+        calls = {"n": 0}
+
+        def counting_pd(a, b):
+            calls["n"] += 1
+            return pd(a, b)
+
+        m = CorePairMaintainer(6, obj, counting_pd)
+        m.bootstrap(items[:6])
+        for it in items[6:]:
+            m.add(it)
+        with_skip = objective_of(m.core_objects()[:6], pd, obj)
+        exact_calls = calls["n"]
+        # Exhaustive: n * (n-1) / 2 pair evaluations would be 435.
+        assert exact_calls < 30 * 29 / 2
+        batch = objective_of(greedy_diversify(items, 6, obj, pd), pd, obj)
+        assert with_skip == pytest.approx(batch, rel=1e-9)

@@ -1,0 +1,100 @@
+"""Tests for the Database facade."""
+
+import pytest
+
+from repro import Database, DiversifiedSKQuery, SKQuery
+from repro.errors import QueryError, ReproError
+from repro.network.graph import NetworkPosition
+from repro.spatial.geometry import Point
+
+
+@pytest.fixture()
+def db(grid_network9):
+    db = Database(grid_network9, buffer_pages=32)
+    db.add_object(NetworkPosition(0, 30.0), {"pizza", "bar"})
+    db.add_object(NetworkPosition(0, 60.0), {"pizza"})
+    db.add_object(NetworkPosition(5, 20.0), {"pizza", "bar"})
+    db.add_object_at_point(Point(150.0, 98.0), {"bar"})
+    db.freeze()
+    return db
+
+
+class TestLifecycle:
+    def test_query_before_freeze_rejected(self, grid_network9):
+        fresh = Database(grid_network9, buffer_pages=8)
+        with pytest.raises(ReproError):
+            fresh.build_index("sif")
+
+    def test_add_after_freeze_rejected(self, db):
+        with pytest.raises(ReproError):
+            db.add_object(NetworkPosition(0, 10.0), {"x"})
+
+    def test_buffer_policy_applied(self, grid_network9):
+        fresh = Database(grid_network9)
+        fresh.freeze()
+        assert fresh.disk.buffer.capacity >= 8
+
+    def test_explicit_buffer_respected(self, grid_network9):
+        fresh = Database(grid_network9, buffer_pages=123)
+        fresh.freeze()
+        assert fresh.disk.buffer.capacity == 123
+
+
+class TestQueries:
+    def test_sk_search_end_to_end(self, db):
+        index = db.build_index("sif")
+        q = SKQuery.create(NetworkPosition(0, 0.0), ["pizza"], 400.0)
+        result = db.sk_search(index, q)
+        ids = set(result.object_ids())
+        assert {0, 1} <= ids
+        assert result.stats.io is not None
+        assert result.stats.wall_seconds >= 0.0
+
+    def test_sk_search_and_semantics(self, db):
+        index = db.build_index("sif", file_prefix="sif-b")
+        q = SKQuery.create(NetworkPosition(0, 0.0), ["pizza", "bar"], 1000.0)
+        result = db.sk_search(index, q)
+        for item in result:
+            assert item.object.contains_all({"pizza", "bar"})
+
+    def test_diversified_search_end_to_end(self, db):
+        index = db.build_index("sif", file_prefix="sif-c")
+        q = DiversifiedSKQuery.create(
+            NetworkPosition(0, 0.0), ["pizza"], 1000.0, k=2, lambda_=0.5
+        )
+        seq = db.diversified_search(index, q, method="seq")
+        com = db.diversified_search(index, q, method="com")
+        assert seq.objective_value == pytest.approx(com.objective_value)
+        assert len(seq) == 2
+
+    def test_dataset_statistics(self, db):
+        stats = db.dataset_statistics()
+        assert stats["num_objects"] == 4
+        assert stats["num_nodes"] == 9
+        assert stats["vocabulary_size"] == 2
+
+
+class TestQueryValidation:
+    def test_empty_terms(self):
+        with pytest.raises(QueryError):
+            SKQuery.create(NetworkPosition(0, 0.0), [], 100.0)
+
+    def test_bad_delta_max(self):
+        with pytest.raises(QueryError):
+            SKQuery.create(NetworkPosition(0, 0.0), ["a"], 0.0)
+
+    def test_bad_k(self):
+        with pytest.raises(QueryError):
+            DiversifiedSKQuery.create(NetworkPosition(0, 0.0), ["a"], 100.0, k=1)
+
+    def test_bad_lambda(self):
+        with pytest.raises(QueryError):
+            DiversifiedSKQuery.create(
+                NetworkPosition(0, 0.0), ["a"], 100.0, k=4, lambda_=1.5
+            )
+
+    def test_sk_query_view(self):
+        q = DiversifiedSKQuery.create(NetworkPosition(0, 0.0), ["a"], 100.0, k=4)
+        sk = q.sk_query
+        assert sk.terms == q.terms
+        assert sk.delta_max == q.delta_max

@@ -1,0 +1,116 @@
+"""Tests for the greedy max-sum diversification (Algorithm 1)."""
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.diversify import greedy_diversify
+from repro.core.objective import DiversificationObjective
+from repro.core.queries import ResultItem
+from repro.network.graph import NetworkPosition
+from repro.network.objects import SpatioTextualObject
+
+
+def make_items(dists):
+    items = []
+    for i, d in enumerate(dists):
+        obj = SpatioTextualObject(i, NetworkPosition(0, 0.0), frozenset({"x"}))
+        items.append(ResultItem(obj, d))
+    return items
+
+
+def euclid_pairs(points):
+    """Pair distance from synthetic 1-d coordinates (by object id)."""
+
+    def pd(a, b):
+        return abs(points[a.object.object_id] - points[b.object.object_id])
+
+    return pd
+
+
+class TestBasics:
+    def test_k_zero(self):
+        assert greedy_diversify([], 0, DiversificationObjective(0.5, 100), None) == []
+
+    def test_fewer_candidates_than_k(self):
+        items = make_items([5.0, 2.0])
+        got = greedy_diversify(
+            items, 5, DiversificationObjective(0.5, 100), lambda a, b: 1.0
+        )
+        assert [it.object.object_id for it in got] == [1, 0]  # distance order
+
+    def test_exact_k_returned(self):
+        items = make_items([1, 2, 3, 4, 5, 6])
+        obj = DiversificationObjective(0.5, 100)
+        got = greedy_diversify(items, 4, obj, lambda a, b: 1.0)
+        assert len(got) == 4
+
+    def test_pure_diversity_picks_far_pair(self):
+        # Points on a line at 0, 1, 2, 100; diversity only.
+        points = {0: 0.0, 1: 1.0, 2: 2.0, 3: 100.0}
+        items = make_items([10.0, 10.0, 10.0, 10.0])
+        obj = DiversificationObjective(0.0, 100)
+        got = greedy_diversify(items, 2, obj, euclid_pairs(points))
+        assert {it.object.object_id for it in got} == {0, 3}
+
+    def test_pure_relevance_picks_closest(self):
+        items = make_items([50.0, 10.0, 90.0, 30.0])
+        obj = DiversificationObjective(1.0, 100)
+        got = greedy_diversify(items, 2, obj, lambda a, b: 0.0)
+        assert {it.object.object_id for it in got} == {1, 3}
+
+    def test_odd_k_appends_closest_remaining(self):
+        points = {0: 0.0, 1: 100.0, 2: 50.0, 3: 51.0}
+        items = make_items([5.0, 5.0, 1.0, 9.0])
+        obj = DiversificationObjective(0.0, 100)
+        got = greedy_diversify(items, 3, obj, euclid_pairs(points))
+        ids = {it.object.object_id for it in got}
+        assert {0, 1} <= ids
+        assert len(ids) == 3
+
+    def test_result_sorted_by_distance(self):
+        items = make_items([9.0, 1.0, 5.0, 7.0, 3.0, 2.0])
+        obj = DiversificationObjective(0.8, 100)
+        got = greedy_diversify(items, 4, obj, lambda a, b: 10.0)
+        dists = [it.distance for it in got]
+        assert dists == sorted(dists)
+
+
+def brute_force_objective_max(items, k, obj, pd):
+    """Exhaustive best f(S) over all size-k subsets."""
+    best = 0.0
+    for subset in combinations(items, k):
+        dists = [it.distance for it in subset]
+
+        def pair(i, j, subset=subset):
+            return pd(subset[i], subset[j])
+
+        best = max(best, obj.objective(dists, pair))
+    return best
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.integers(0, 10**6))
+def test_greedy_is_2_approximation(seed):
+    """Max-sum greedy guarantees f(greedy) >= f(opt) / 2."""
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, 9))
+    k = 4
+    coords = rng.uniform(0, 100, size=n)
+    dists = rng.uniform(0, 100, size=n)
+    items = make_items(list(dists))
+    points = {i: float(coords[i]) for i in range(n)}
+    obj = DiversificationObjective(0.5, 100)
+    pd = euclid_pairs(points)
+    got = greedy_diversify(items, k, obj, pd)
+    got_dists = [it.distance for it in got]
+
+    def pair(i, j):
+        return pd(got[i], got[j])
+
+    f_greedy = obj.objective(got_dists, pair)
+    f_opt = brute_force_objective_max(items, k, obj, pd)
+    assert f_greedy >= f_opt / 2.0 - 1e-9

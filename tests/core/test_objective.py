@@ -1,0 +1,116 @@
+"""Tests for the diversification objective and its pruning bounds."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.objective import DiversificationObjective
+from repro.errors import QueryError
+
+dist = st.floats(min_value=0.0, max_value=1500.0, allow_nan=False)
+
+
+class TestValidation:
+    def test_bad_lambda(self):
+        with pytest.raises(QueryError):
+            DiversificationObjective(1.5, 100)
+
+    def test_bad_delta_max(self):
+        with pytest.raises(QueryError):
+            DiversificationObjective(0.5, 0)
+
+
+class TestComponents:
+    def test_relevance_extremes(self):
+        obj = DiversificationObjective(0.8, 1000)
+        assert obj.relevance(0) == 1.0
+        assert obj.relevance(1000) == 0.0
+        assert obj.relevance(2000) == 0.0  # clamped
+
+    def test_diversity_extremes(self):
+        obj = DiversificationObjective(0.8, 1000)
+        assert obj.diversity(0) == 0.0
+        assert obj.diversity(2000) == 1.0
+        assert obj.diversity(99999) == 1.0  # clamped
+
+    def test_theta_pure_relevance(self):
+        obj = DiversificationObjective(1.0, 1000)
+        assert obj.theta(0, 0, 500) == 1.0
+        assert obj.theta(1000, 1000, 500) == 0.0
+
+    def test_theta_pure_diversity(self):
+        obj = DiversificationObjective(0.0, 1000)
+        assert obj.theta(0, 0, 2000) == 1.0
+        assert obj.theta(0, 0, 0) == 0.0
+
+    def test_theta_in_unit_interval(self):
+        obj = DiversificationObjective(0.8, 1000)
+        assert 0.0 <= obj.theta(300, 700, 800) <= 1.0
+
+    @given(dist, dist, dist, dist)
+    def test_theta_monotone_in_pair_distance(self, du, dv, d1, d2):
+        obj = DiversificationObjective(0.6, 1000)
+        lo, hi = sorted((d1, d2))
+        assert obj.theta(du, dv, lo) <= obj.theta(du, dv, hi) + 1e-12
+
+    @given(dist, dist, dist)
+    def test_theta_antitone_in_query_distance(self, du, dv, pair):
+        obj = DiversificationObjective(0.6, 1000)
+        assert obj.theta(du, dv, pair) >= obj.theta(du + 100, dv, pair) - 1e-12
+
+
+class TestObjectiveValue:
+    def test_empty_and_singleton(self):
+        obj = DiversificationObjective(0.8, 1000)
+        assert obj.objective([], lambda i, j: 0) == 0.0
+        assert obj.objective([0.0], lambda i, j: 0) == pytest.approx(0.8)
+
+    def test_pair(self):
+        obj = DiversificationObjective(0.5, 1000)
+        # rel = (1 + 0.5)/2 = 0.75; div = 1000/2000 = 0.5.
+        value = obj.objective([0.0, 500.0], lambda i, j: 1000.0)
+        assert value == pytest.approx(0.5 * 0.75 + 0.5 * 0.5)
+
+    def test_average_over_pairs(self):
+        obj = DiversificationObjective(0.0, 1000)
+        dists = [0.0, 0.0, 0.0]
+        pair = {(0, 1): 2000.0, (0, 2): 0.0, (1, 2): 0.0}
+        value = obj.objective(dists, lambda i, j: pair[(min(i, j), max(i, j))])
+        assert value == pytest.approx(1.0 / 3.0)
+
+
+class TestPruningBounds:
+    """The §4.3 bounds must dominate every realisable θ."""
+
+    @given(dist, dist, st.floats(0, 3000, allow_nan=False))
+    def test_unvisited_bound_dominates(self, d1, d2, pair):
+        obj = DiversificationObjective(0.8, 1000)
+        gamma = min(d1, d2)  # both unvisited: at distance >= gamma
+        assert obj.theta(d1, d2, pair) <= obj.theta_ub_unvisited(gamma) + 1e-12
+
+    @given(dist, dist)
+    def test_visited_bound_dominates(self, d_o, d_u):
+        obj = DiversificationObjective(0.8, 1000)
+        if d_u > 1000:
+            return  # unvisited objects satisfy the range constraint
+        gamma = d_u  # the unvisited object arrives at distance >= gamma
+        pair_ub = d_o + 1000  # triangle inequality through the query
+        for pair in (0.0, pair_ub / 2, pair_ub):
+            assert (
+                obj.theta(d_o, d_u, pair)
+                <= obj.theta_ub_visited(d_o, gamma) + 1e-12
+            )
+
+    def test_bounds_decay_with_gamma(self):
+        obj = DiversificationObjective(0.8, 1000)
+        bounds = [obj.theta_ub_unvisited(g) for g in (0, 250, 500, 750, 1000)]
+        assert bounds == sorted(bounds, reverse=True)
+
+    def test_larger_lambda_decays_faster(self):
+        """Fig. 15's early-termination claim: a larger λ shrinks the
+        unvisited bound faster as the frontier advances."""
+        lo = DiversificationObjective(0.5, 1000)
+        hi = DiversificationObjective(0.9, 1000)
+        drop_lo = lo.theta_ub_unvisited(0) - lo.theta_ub_unvisited(900)
+        drop_hi = hi.theta_ub_unvisited(0) - hi.theta_ub_unvisited(900)
+        assert drop_hi > drop_lo

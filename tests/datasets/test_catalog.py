@@ -1,0 +1,70 @@
+"""Tests for the dataset catalog (Table 2 profiles)."""
+
+import pytest
+
+from repro.datasets.catalog import PROFILES, DatasetProfile, build_dataset, build_network
+from repro.errors import DatasetError
+
+
+class TestProfiles:
+    def test_all_four_paper_datasets_exist(self):
+        assert set(PROFILES) == {"NA", "SF", "TW", "SYN"}
+
+    def test_profiles_mirror_paper_shape(self):
+        """Relative dataset properties from the paper's Table 2."""
+        na, sf, tw = PROFILES["NA"], PROFILES["SF"], PROFILES["TW"]
+        # TW is the biggest corpus with the biggest vocabulary.
+        assert tw.num_objects > na.num_objects
+        assert tw.vocabulary_size > na.vocabulary_size > sf.vocabulary_size
+        # SF has by far the richest per-object keyword sets.
+        assert sf.avg_keywords > tw.avg_keywords > na.avg_keywords
+
+    def test_scaled(self):
+        p = PROFILES["NA"].scaled(0.5)
+        assert p.num_nodes == PROFILES["NA"].num_nodes // 2
+        assert p.num_objects == PROFILES["NA"].num_objects // 2
+
+    def test_scaled_invalid(self):
+        with pytest.raises(DatasetError):
+            PROFILES["NA"].scaled(0)
+
+    def test_build_network_kinds(self):
+        grid = build_network(PROFILES["NA"].scaled(0.05))
+        planar = build_network(PROFILES["SF"].scaled(0.05))
+        assert grid.num_nodes > 0
+        assert planar.num_nodes > 0
+        bad = DatasetProfile("X", "moebius", 10, 3, 10, 10, 2)
+        with pytest.raises(DatasetError):
+            build_network(bad)
+
+
+class TestBuildDataset:
+    def test_by_name_with_scale(self):
+        db = build_dataset("NA", scale=0.05)
+        stats = db.dataset_statistics()
+        assert stats["num_objects"] > 0
+        assert stats["num_nodes"] > 0
+
+    def test_unknown_name(self):
+        with pytest.raises(DatasetError):
+            build_dataset("MARS")
+
+    def test_overrides(self):
+        db = build_dataset("SYN", scale=0.05, num_objects=123)
+        assert db.dataset_statistics()["num_objects"] == 123
+
+    def test_determinism(self):
+        a = build_dataset("SYN", scale=0.05)
+        b = build_dataset("SYN", scale=0.05)
+        assert a.dataset_statistics() == b.dataset_statistics()
+        for oa, ob in zip(a.store, b.store):
+            assert oa.position == ob.position
+            assert oa.keywords == ob.keywords
+
+    def test_database_is_frozen_and_queryable(self):
+        db = build_dataset("SYN", scale=0.05)
+        index = db.build_index("sif")
+        from repro.workloads.queries import WorkloadConfig, generate_sk_queries
+
+        q = generate_sk_queries(db, WorkloadConfig(num_queries=1, seed=1))[0]
+        db.sk_search(index, q)  # must not raise

@@ -1,0 +1,120 @@
+"""Tests for the spatio-textual object generator."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.generator import populate_objects, random_positions
+from repro.datasets.synthetic import grid_network
+from repro.errors import DatasetError
+from repro.network.objects import ObjectStore
+
+
+@pytest.fixture()
+def network():
+    return grid_network(8, 8, seed=1)
+
+
+class TestRandomPositions:
+    def test_count_and_validity(self, network):
+        rng = np.random.default_rng(0)
+        positions = random_positions(network, 200, rng)
+        assert len(positions) == 200
+        for pos in positions:
+            edge = network.edge(pos.edge_id)
+            assert 0.0 <= pos.offset <= edge.weight + 1e-9
+
+    def test_length_weighted(self):
+        """Longer edges receive proportionally more objects."""
+        from repro.network.graph import RoadNetwork
+
+        n = RoadNetwork()
+        n.add_node(0, 0, 0)
+        n.add_node(1, 900, 0)
+        n.add_node(2, 1000, 0)
+        n.add_edge(0, 1)  # length 900
+        n.add_edge(1, 2)  # length 100
+        rng = np.random.default_rng(1)
+        positions = random_positions(n, 2000, rng)
+        long_edge = n.edge_between(0, 1).edge_id
+        share = sum(1 for p in positions if p.edge_id == long_edge) / 2000
+        assert 0.85 < share < 0.95
+
+
+class TestPopulate:
+    def test_counts_and_freeze(self, network):
+        store = ObjectStore(network)
+        populate_objects(store, 500, vocabulary_size=100, avg_keywords=5, seed=2)
+        assert len(store) == 500
+        for edge_id in store.edges_with_objects():
+            offsets = [o.position.offset for o in store.objects_on_edge(edge_id)]
+            assert offsets == sorted(offsets)
+
+    def test_invalid_args(self, network):
+        store = ObjectStore(network)
+        with pytest.raises(DatasetError):
+            populate_objects(store, 0, 10, 3)
+        with pytest.raises(DatasetError):
+            populate_objects(store, 10, 10, 0.5)
+
+    def test_every_object_has_keywords(self, network):
+        store = ObjectStore(network)
+        populate_objects(store, 300, vocabulary_size=50, avg_keywords=2, seed=3)
+        assert all(len(o.keywords) >= 1 for o in store)
+
+    def test_determinism(self, network):
+        a = ObjectStore(network)
+        b = ObjectStore(network)
+        populate_objects(a, 100, 50, 4, seed=7)
+        populate_objects(b, 100, 50, 4, seed=7)
+        for oa, ob in zip(a, b):
+            assert oa.position == ob.position
+            assert oa.keywords == ob.keywords
+
+    def test_zipf_skew_visible(self, network):
+        store = ObjectStore(network)
+        populate_objects(
+            store, 2000, vocabulary_size=200, avg_keywords=5, zipf_z=1.2,
+            seed=4, num_topics=1,
+        )
+        freq = store.keyword_frequencies()
+        ranked = sorted(freq.values(), reverse=True)
+        assert ranked[0] > 10 * ranked[min(99, len(ranked) - 1)]
+
+    def test_topics_create_cooccurrence(self, network):
+        """Topic structure: two keywords of one object are far more
+        likely to co-occur elsewhere than two independent keywords."""
+        def cooccurrence_rate(num_topics, seed=5):
+            store = ObjectStore(network)
+            # Moderate skew: with very high z the global head already
+            # co-occurs massively and the topic effect inverts.
+            populate_objects(
+                store, 1500, vocabulary_size=200, avg_keywords=6,
+                zipf_z=0.8, seed=seed, num_topics=num_topics,
+            )
+            objects = list(store)
+            rng = np.random.default_rng(0)
+            hits = trials = 0
+            for _ in range(300):
+                obj = objects[int(rng.integers(0, len(objects)))]
+                keys = sorted(obj.keywords)
+                if len(keys) < 2:
+                    continue
+                pick = rng.choice(len(keys), size=2, replace=False)
+                pair = {keys[int(pick[0])], keys[int(pick[1])]}
+                trials += 1
+                hits += sum(
+                    1
+                    for other in objects
+                    if other.object_id != obj.object_id
+                    and pair <= other.keywords
+                )
+            return hits / max(trials, 1)
+
+        with_topics = cooccurrence_rate(num_topics=10)
+        without = cooccurrence_rate(num_topics=1)
+        assert with_topics > 2 * without
+
+    def test_avg_keywords_close_to_target(self, network):
+        store = ObjectStore(network)
+        populate_objects(store, 1000, vocabulary_size=400, avg_keywords=8, seed=6)
+        assert store.average_keywords_per_object() == pytest.approx(8, rel=0.15)

@@ -1,0 +1,109 @@
+"""Tests for dataset persistence and the cnode/cedge loader."""
+
+import pytest
+
+from repro.datasets.io import load_cnode_cedge, load_dataset, save_dataset
+from repro.datasets.generator import populate_objects
+from repro.datasets.synthetic import grid_network
+from repro.errors import DatasetError
+from repro.network.objects import ObjectStore
+
+
+class TestCnodeCedge:
+    def write_files(self, tmp_path, nodes, edges):
+        cnode = tmp_path / "net.cnode"
+        cedge = tmp_path / "net.cedge"
+        cnode.write_text("\n".join(f"{i} {x} {y}" for i, x, y in nodes))
+        cedge.write_text(
+            "\n".join(f"{i} {a} {b} {d}" for i, (a, b, d) in enumerate(edges))
+        )
+        return cnode, cedge
+
+    def test_roundtrip_basic(self, tmp_path):
+        nodes = [(0, 0.0, 0.0), (1, 100.0, 0.0), (2, 100.0, 100.0)]
+        edges = [(0, 1, 100.0), (1, 2, 100.0)]
+        cnode, cedge = self.write_files(tmp_path, nodes, edges)
+        network = load_cnode_cedge(cnode, cedge)
+        assert network.num_nodes == 3
+        assert network.num_edges == 2
+        assert network.edge_between(0, 1).weight == pytest.approx(100.0)
+
+    def test_skips_bad_edges(self, tmp_path):
+        nodes = [(0, 0.0, 0.0), (1, 100.0, 0.0)]
+        edges = [(0, 1, 100.0), (1, 1, 5.0), (0, 9, 10.0), (0, 1, 50.0)]
+        cnode, cedge = self.write_files(tmp_path, nodes, edges)
+        network = load_cnode_cedge(cnode, cedge)
+        assert network.num_edges == 1  # self-loop, unknown node, dup skipped
+
+    def test_max_nodes_truncation(self, tmp_path):
+        nodes = [(i, float(i), 0.0) for i in range(10)]
+        edges = [(i, i + 1, 1.0) for i in range(9)]
+        cnode, cedge = self.write_files(tmp_path, nodes, edges)
+        network = load_cnode_cedge(cnode, cedge, max_nodes=5)
+        assert network.num_nodes == 5
+        assert network.num_edges == 4
+
+    def test_malformed_lines_raise(self, tmp_path):
+        cnode = tmp_path / "bad.cnode"
+        cnode.write_text("0 1")
+        cedge = tmp_path / "bad.cedge"
+        cedge.write_text("")
+        with pytest.raises(DatasetError):
+            load_cnode_cedge(cnode, cedge)
+
+    def test_no_edges_raises(self, tmp_path):
+        cnode, cedge = self.write_files(
+            tmp_path, [(0, 0.0, 0.0), (1, 1.0, 0.0)], []
+        )
+        with pytest.raises(DatasetError):
+            load_cnode_cedge(cnode, cedge)
+
+
+class TestSnapshot:
+    @pytest.fixture()
+    def store(self):
+        network = grid_network(5, 5, seed=2)
+        store = ObjectStore(network)
+        populate_objects(store, 200, vocabulary_size=40, avg_keywords=4, seed=3)
+        return store
+
+    def test_roundtrip_exact(self, tmp_path, store):
+        path = tmp_path / "snapshot.json"
+        save_dataset(store, path)
+        loaded = load_dataset(path)
+        assert len(loaded) == len(store)
+        assert loaded.network.num_nodes == store.network.num_nodes
+        assert loaded.network.num_edges == store.network.num_edges
+        for a, b in zip(store, loaded):
+            assert a.position == b.position
+            assert a.keywords == b.keywords
+
+    def test_loaded_store_is_queryable(self, tmp_path, store):
+        from repro.core.database import Database
+
+        path = tmp_path / "snapshot.json"
+        save_dataset(store, path)
+        loaded = load_dataset(path)
+        # Rebuild a database around the loaded network and objects.
+        db = Database(loaded.network, buffer_pages=64)
+        for obj in loaded:
+            db.add_object(obj.position, obj.keywords)
+        db.freeze()
+        index = db.build_index("sif")
+        some = next(iter(db.store))
+        from repro import SKQuery
+
+        result = db.sk_search(
+            index, SKQuery.create(some.position, sorted(some.keywords)[:1], 5000.0)
+        )
+        assert len(result) >= 1
+
+    def test_not_a_snapshot(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text('{"format": "something-else"}')
+        with pytest.raises(DatasetError):
+            load_dataset(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(DatasetError):
+            load_dataset(tmp_path / "missing.json")

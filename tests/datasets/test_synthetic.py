@@ -1,0 +1,94 @@
+"""Tests for the synthetic road-network generators."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.synthetic import grid_network, random_planar_network
+from repro.errors import DatasetError
+
+
+def is_connected(network):
+    seen = {0}
+    stack = [0]
+    while stack:
+        node = stack.pop()
+        for _e, other, _w in network.neighbors(node):
+            if other not in seen:
+                seen.add(other)
+                stack.append(other)
+    return len(seen) == network.num_nodes
+
+
+class TestGrid:
+    def test_counts(self):
+        n = grid_network(10, 10, drop_prob=0.0, jitter=0.0)
+        assert n.num_nodes == 100
+        assert n.num_edges == 2 * 10 * 9
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            grid_network(1, 5)
+
+    def test_always_connected(self):
+        for seed in range(5):
+            n = grid_network(8, 8, drop_prob=0.5, seed=seed)
+            assert is_connected(n)
+
+    def test_determinism(self):
+        a = grid_network(6, 6, seed=3)
+        b = grid_network(6, 6, seed=3)
+        assert a.num_edges == b.num_edges
+        for ea, eb in zip(a.edges(), b.edges()):
+            assert (ea.n1, ea.n2) == (eb.n1, eb.n2)
+            assert ea.weight == pytest.approx(eb.weight)
+
+    def test_jitter_moves_interior_nodes(self):
+        flat = grid_network(5, 5, jitter=0.0, seed=1)
+        bumpy = grid_network(5, 5, jitter=0.4, seed=1)
+        moved = sum(
+            1
+            for a, b in zip(flat.nodes(), bumpy.nodes())
+            if a.point.distance_to(b.point) > 1.0
+        )
+        assert moved > 0
+
+    def test_coordinates_within_extent(self):
+        n = grid_network(7, 7, seed=2, extent=5000)
+        for node in n.nodes():
+            assert -1000 <= node.point.x <= 6000
+            assert -1000 <= node.point.y <= 6000
+
+    def test_validates(self):
+        grid_network(6, 6, seed=4).validate()
+
+
+class TestPlanar:
+    def test_connected(self):
+        for seed in range(4):
+            n = random_planar_network(150, seed=seed)
+            assert is_connected(n)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(DatasetError):
+            random_planar_network(1)
+
+    def test_density_scales_with_neighbours(self):
+        sparse = random_planar_network(200, neighbours=2, seed=1)
+        dense = random_planar_network(200, neighbours=6, seed=1)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_determinism(self):
+        a = random_planar_network(80, seed=9)
+        b = random_planar_network(80, seed=9)
+        assert a.num_edges == b.num_edges
+
+    def test_no_self_loops_or_duplicates(self):
+        n = random_planar_network(120, seed=5)
+        seen = set()
+        for e in n.edges():
+            assert e.n1 != e.n2
+            assert (e.n1, e.n2) not in seen
+            seen.add((e.n1, e.n2))
+
+    def test_validates(self):
+        random_planar_network(60, seed=7).validate()

@@ -1,0 +1,100 @@
+"""Tests for dynamic insertion into IF and SIF."""
+
+import pytest
+
+from repro import Database, SKQuery
+from repro.errors import QueryError
+from repro.network.graph import NetworkPosition
+
+
+@pytest.fixture()
+def live_db(grid_network9):
+    db = Database(grid_network9, buffer_pages=64)
+    db.add_object(NetworkPosition(0, 20.0), {"pizza"})
+    db.add_object(NetworkPosition(3, 50.0), {"pizza", "bar"})
+    db.freeze()
+    return db
+
+
+class TestInsertIntoIF:
+    def test_new_object_becomes_findable(self, live_db):
+        index = live_db.build_index("if")
+        q = SKQuery.create(NetworkPosition(0, 0.0), ["sushi"], 1000.0)
+        assert len(live_db.sk_search(index, q)) == 0
+        live_db.insert_object(NetworkPosition(0, 70.0), {"sushi"}, [index])
+        result = live_db.sk_search(index, q)
+        assert len(result) == 1
+        assert result.items[0].distance == pytest.approx(70.0)
+
+    def test_insert_existing_term_same_edge(self, live_db):
+        index = live_db.build_index("if")
+        live_db.insert_object(NetworkPosition(0, 90.0), {"pizza"}, [index])
+        q = SKQuery.create(NetworkPosition(0, 0.0), ["pizza"], 1000.0)
+        assert len(live_db.sk_search(index, q)) == 3
+
+    def test_insert_on_fresh_edge(self, live_db):
+        index = live_db.build_index("if")
+        live_db.insert_object(NetworkPosition(7, 10.0), {"pizza"}, [index])
+        q = SKQuery.create(NetworkPosition(7, 0.0), ["pizza"], 2000.0)
+        ids = live_db.sk_search(index, q).object_ids()
+        assert len(ids) == 3
+
+    def test_many_inserts_keep_equivalence(self, live_db):
+        """After a burst of inserts the dynamic index answers exactly
+        like a freshly rebuilt one."""
+        index = live_db.build_index("if")
+        import numpy as np
+
+        rng = np.random.default_rng(5)
+        for i in range(120):
+            edge = live_db.network.edge(int(rng.integers(0, 12)))
+            offset = float(rng.uniform(0, edge.weight))
+            terms = {f"t{int(rng.integers(0, 6))}", "pizza"}
+            live_db.insert_object(
+                NetworkPosition(edge.edge_id, offset), terms, [index]
+            )
+        rebuilt = live_db.build_index("if", file_prefix="if-rebuilt")
+        for term in ("pizza", "t0", "t3", "bar"):
+            q = SKQuery.create(NetworkPosition(0, 0.0), [term], 5000.0)
+            assert sorted(live_db.sk_search(index, q).object_ids()) == sorted(
+                live_db.sk_search(rebuilt, q).object_ids()
+            )
+
+
+class TestInsertIntoSIF:
+    def test_signature_bit_is_set(self, live_db):
+        index = live_db.build_index("sif")
+        # Before: edge 5 has no "pizza" bit -> pruned with zero loads.
+        index.counters.reset()
+        assert index.load_objects(5, frozenset({"pizza"})) == []
+        assert index.counters.edges_pruned_by_signature == 1
+        live_db.insert_object(NetworkPosition(5, 30.0), {"pizza"}, [index])
+        got = index.load_objects(5, frozenset({"pizza"}))
+        assert len(got) == 1
+
+    def test_and_semantics_after_insert(self, live_db):
+        index = live_db.build_index("sif")
+        live_db.insert_object(NetworkPosition(0, 40.0), {"pizza", "vegan"},
+                              [index])
+        q = SKQuery.create(NetworkPosition(0, 0.0), ["pizza", "vegan"], 1000.0)
+        result = live_db.sk_search(index, q)
+        assert len(result) == 1
+
+
+class TestUnsupportedKinds:
+    def test_ir_rejects_dynamic_insert(self, live_db):
+        index = live_db.build_index("ir")
+        with pytest.raises(QueryError):
+            live_db.insert_object(NetworkPosition(0, 10.0), {"x"}, [index])
+
+    def test_sif_p_rejects_dynamic_insert(self, live_db):
+        index = live_db.build_index("sif-p")
+        with pytest.raises(QueryError):
+            live_db.insert_object(NetworkPosition(0, 10.0), {"x"}, [index])
+
+    def test_insert_requires_frozen_db(self, grid_network9):
+        db = Database(grid_network9, buffer_pages=8)
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            db.insert_object(NetworkPosition(0, 1.0), {"x"})

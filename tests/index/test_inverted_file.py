@@ -1,0 +1,118 @@
+"""Tests for the inverted file index internals."""
+
+import pytest
+
+from repro.index.inverted_file import InvertedFileIndex, edge_zorder_key, pack_postings
+from repro.network.graph import NetworkPosition
+from repro.network.objects import ObjectStore
+from repro.spatial.zorder import ZOrderCurve
+from repro.storage.pagefile import DiskManager
+
+
+@pytest.fixture()
+def store(line_network):
+    s = ObjectStore(line_network)
+    s.add(NetworkPosition(0, 10.0), {"pizza", "bar"})
+    s.add(NetworkPosition(0, 20.0), {"pizza"})
+    s.add(NetworkPosition(1, 30.0), {"bar"})
+    s.add(NetworkPosition(3, 40.0), {"pizza", "bar", "cafe"})
+    s.freeze()
+    return s
+
+
+@pytest.fixture()
+def index(store):
+    disk = DiskManager(buffer_pages=64)
+    return InvertedFileIndex(store, disk)
+
+
+class TestEdgeKeys:
+    def test_keys_unique_across_edges(self, line_network):
+        curve = ZOrderCurve()
+        keys = {
+            edge_zorder_key(curve, line_network, e.edge_id)
+            for e in line_network.edges()
+        }
+        assert len(keys) == line_network.num_edges
+
+    def test_key_embeds_edge_id(self, line_network):
+        curve = ZOrderCurve()
+        key = edge_zorder_key(curve, line_network, 2)
+        assert key & 0xFFFFFF == 2
+
+
+class TestPackPostings:
+    def test_small_lists_share_pages(self):
+        disk = DiskManager()
+        file = disk.create_file("p", category="inverted")
+        postings = [(k, k * 10, 0.0) for k in range(10)]
+        edge_pages = pack_postings(file, postings)
+        assert file.num_pages == 1
+        assert all(pages == [0] for pages in edge_pages.values())
+
+    def test_large_list_spans_pages(self):
+        disk = DiskManager()
+        file = disk.create_file("p", category="inverted")
+        postings = [(7, i, 0.0) for i in range(600)]
+        edge_pages = pack_postings(file, postings)
+        assert file.num_pages == 3
+        assert edge_pages[7] == [0, 1, 2]
+
+    def test_boundary_edges_listed_once_per_page(self):
+        disk = DiskManager()
+        file = disk.create_file("p", category="inverted")
+        postings = [(1, i, 0.0) for i in range(200)] + [(2, i, 0.0) for i in range(200)]
+        edge_pages = pack_postings(file, postings)
+        assert len(edge_pages[1]) >= 1
+        for pages in edge_pages.values():
+            assert len(pages) == len(set(pages))
+
+
+class TestLoadObjects:
+    def test_single_term(self, index):
+        got = {o.object_id for o in index.load_objects(0, frozenset({"pizza"}))}
+        assert got == {0, 1}
+
+    def test_and_semantics(self, index):
+        got = {o.object_id for o in index.load_objects(0, frozenset({"pizza", "bar"}))}
+        assert got == {0}
+
+    def test_term_absent_on_edge(self, index):
+        assert index.load_objects(1, frozenset({"pizza"})) == []
+
+    def test_unknown_term(self, index):
+        assert index.load_objects(0, frozenset({"sushi"})) == []
+
+    def test_empty_edge(self, index):
+        assert index.load_objects(2, frozenset({"pizza"})) == []
+
+    def test_false_hit_counting(self, index):
+        index.counters.reset()
+        # Edge 0 has pizza objects and bar objects but the pair {bar,
+        # cafe} matches nothing: postings for bar are loaded in vain.
+        index.load_objects(0, frozenset({"bar", "cafe"}))
+        assert index.counters.false_hits == 1
+        assert index.counters.false_hit_objects >= 1
+
+    def test_true_hit_not_counted_as_false(self, index):
+        index.counters.reset()
+        index.load_objects(0, frozenset({"pizza"}))
+        assert index.counters.false_hits == 0
+        assert index.counters.results_returned == 2
+
+    def test_postings_pages_of(self, index):
+        assert index.postings_pages_of("pizza") >= 1
+        assert index.postings_pages_of("nope") == 0
+        assert index.has_term("pizza")
+        assert not index.has_term("nope")
+
+    def test_io_charged_per_query_keyword(self, store):
+        disk = DiskManager(buffer_pages=0)
+        index = InvertedFileIndex(store, disk, file_prefix="io")
+        disk.stats.reset()
+        index.load_objects(0, frozenset({"pizza", "bar"}))
+        two_term = disk.stats.logical_reads
+        disk.stats.reset()
+        index.load_objects(0, frozenset({"pizza"}))
+        one_term = disk.stats.logical_reads
+        assert two_term > one_term > 0

@@ -1,0 +1,64 @@
+"""Tests for the query-log models (paper §3.3 Remark 1, Fig. 10)."""
+
+import numpy as np
+import pytest
+
+from repro.index.query_log import frequency_edge_log, log_from_workload, random_edge_log
+
+F = frozenset
+
+
+class TestWorkloadLog:
+    def test_merges_duplicates(self):
+        log = log_from_workload([{"a", "b"}, {"b", "a"}, {"c"}])
+        assert dict(log)[F({"a", "b"})] == pytest.approx(2 / 3)
+        assert dict(log)[F({"c"})] == pytest.approx(1 / 3)
+
+    def test_probabilities_sum_to_one(self):
+        log = log_from_workload([{"a"}, {"b"}, {"c"}, {"a"}])
+        assert sum(p for _q, p in log) == pytest.approx(1.0)
+
+    def test_empty_workload(self):
+        assert log_from_workload([]) == []
+
+    def test_sorted_by_frequency(self):
+        log = log_from_workload([{"a"}] * 3 + [{"b"}])
+        assert log[0][0] == F({"a"})
+
+
+class TestEdgeLogs:
+    def test_frequency_log_prefers_frequent_terms(self):
+        objects = [F({"hot", "x%d" % i}) for i in range(10)]
+        rng = np.random.default_rng(0)
+        log = frequency_edge_log(objects, num_queries=64, num_terms=1, rng=rng)
+        top_query, top_prob = log[0]
+        assert top_query == F({"hot"})
+        assert top_prob > 0.3
+
+    def test_random_log_is_flatter(self):
+        objects = [F({"hot", "x%d" % i}) for i in range(10)]
+        f_log = frequency_edge_log(
+            objects, num_queries=200, num_terms=1, rng=np.random.default_rng(1)
+        )
+        r_log = random_edge_log(
+            objects, num_queries=200, num_terms=1, rng=np.random.default_rng(1)
+        )
+        f_top = max(p for _q, p in f_log)
+        r_top = max(p for _q, p in r_log)
+        assert f_top > r_top
+
+    def test_empty_inputs(self):
+        rng = np.random.default_rng(2)
+        assert frequency_edge_log([], 10, 2, rng) == []
+        assert random_edge_log([F({"a"})], 0, 2, rng) == []
+
+    def test_num_terms_capped_at_local_vocab(self):
+        rng = np.random.default_rng(3)
+        log = frequency_edge_log([F({"a", "b"})], 10, 5, rng)
+        assert all(q == F({"a", "b"}) for q, _p in log)
+
+    def test_probabilities_normalised(self):
+        objects = [F({"a", "b"}), F({"b", "c"}), F({"c"})]
+        rng = np.random.default_rng(4)
+        log = frequency_edge_log(objects, num_queries=50, num_terms=2, rng=rng)
+        assert sum(p for _q, p in log) == pytest.approx(1.0)

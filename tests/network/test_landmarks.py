@@ -1,0 +1,149 @@
+"""Tests for the landmark (ALT) distance bounds."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import random_planar_network
+from repro.errors import GraphError
+from repro.network.distance import network_distance
+from repro.network.graph import NetworkPosition
+from repro.network.landmarks import LandmarkIndex
+
+
+@pytest.fixture(scope="module")
+def world():
+    network = random_planar_network(80, seed=17)
+    landmarks = LandmarkIndex(network, network, num_landmarks=6)
+    return network, landmarks
+
+
+class TestConstruction:
+    def test_validation(self, world):
+        network, _ = world
+        with pytest.raises(GraphError):
+            LandmarkIndex(network, network, num_landmarks=0)
+
+    def test_landmarks_distinct(self, world):
+        _network, landmarks = world
+        assert len(set(landmarks.landmarks)) == len(landmarks.landmarks)
+
+    def test_landmarks_capped_by_nodes(self, line_network):
+        landmarks = LandmarkIndex(line_network, line_network, num_landmarks=50)
+        assert len(landmarks.landmarks) <= line_network.num_nodes
+
+    def test_farthest_point_spreads(self, world):
+        """The first two landmarks should be far apart."""
+        network, landmarks = world
+        a, b = landmarks.landmarks[:2]
+        d = network_distance(
+            network, network,
+            network.node_position(a), network.node_position(b),
+        )
+        # Farther than the average edge weight by a wide margin.
+        avg = sum(e.weight for e in network.edges()) / network.num_edges
+        assert d > 3 * avg
+
+
+class TestBounds:
+    def _random_positions(self, network, rng, n=40):
+        edges = list(network.edges())
+        out = []
+        for _ in range(n):
+            e = edges[int(rng.integers(0, len(edges)))]
+            out.append(NetworkPosition(e.edge_id, float(rng.uniform(0, e.weight))))
+        return out
+
+    def test_bounds_sandwich_exact_distance(self, world):
+        network, landmarks = world
+        rng = np.random.default_rng(3)
+        positions = self._random_positions(network, rng)
+        for a, b in zip(positions[::2], positions[1::2]):
+            exact = network_distance(network, network, a, b)
+            lb, ub = landmarks.bounds(a, b)
+            assert lb <= exact + 1e-6
+            assert ub >= exact - 1e-6
+
+    def test_same_edge_bounds_are_exact(self, world):
+        network, landmarks = world
+        edge = next(network.edges())
+        a = NetworkPosition(edge.edge_id, 0.25 * edge.weight)
+        b = NetworkPosition(edge.edge_id, 0.75 * edge.weight)
+        lb, ub = landmarks.bounds(a, b)
+        assert lb == ub == pytest.approx(0.5 * edge.weight)
+
+    def test_upper_bound_tighter_than_naive_triangle(self, world):
+        """On average, landmark UBs beat the through-the-query triangle
+        bound used by plain COM."""
+        network, landmarks = world
+        rng = np.random.default_rng(4)
+        q = network.node_position(0)
+        positions = self._random_positions(network, rng, n=30)
+        wins = total = 0
+        for a, b in zip(positions[::2], positions[1::2]):
+            da = network_distance(network, network, q, a)
+            db = network_distance(network, network, q, b)
+            naive = da + db
+            ub = landmarks.upper_bound(a, b)
+            total += 1
+            wins += ub < naive - 1e-9
+        assert wins > total / 2
+
+    def test_more_landmarks_never_loosen(self, world):
+        network, _ = world
+        few = LandmarkIndex(network, network, num_landmarks=2)
+        many = LandmarkIndex(network, network, num_landmarks=8)
+        rng = np.random.default_rng(5)
+        positions = self._random_positions(network, rng, n=20)
+        for a, b in zip(positions[::2], positions[1::2]):
+            lb_few, ub_few = few.bounds(a, b)
+            lb_many, ub_many = many.bounds(a, b)
+            assert lb_many >= lb_few - 1e-9
+            assert ub_many <= ub_few + 1e-9
+
+
+class TestCOMIntegration:
+    def test_landmarks_do_not_change_answers(self, tiny_db):
+        from repro.network.landmarks import LandmarkIndex
+        from repro.workloads.queries import WorkloadConfig, generate_diversified_queries
+
+        index = tiny_db.build_index("sif", file_prefix="lm-sif")
+        landmarks = LandmarkIndex(tiny_db.network, tiny_db.network,
+                                  num_landmarks=6)
+        queries = generate_diversified_queries(
+            tiny_db,
+            WorkloadConfig(num_queries=8, num_keywords=1, k=4,
+                           delta_max=4000.0, seed=66),
+        )
+        for q in queries:
+            plain = tiny_db.diversified_search(index, q, method="com")
+            boosted = tiny_db.diversified_search(
+                index, q, method="com", landmarks=landmarks
+            )
+            assert boosted.objective_value == pytest.approx(
+                plain.objective_value, rel=1e-9
+            )
+            assert boosted.object_ids() == plain.object_ids()
+
+    def test_landmarks_reduce_pairwise_dijkstras(self, tiny_db):
+        from repro.network.landmarks import LandmarkIndex
+        from repro.workloads.queries import WorkloadConfig, generate_diversified_queries
+
+        index = tiny_db.build_index("sif", file_prefix="lm2-sif")
+        landmarks = LandmarkIndex(tiny_db.network, tiny_db.network,
+                                  num_landmarks=8)
+        queries = generate_diversified_queries(
+            tiny_db,
+            WorkloadConfig(num_queries=10, num_keywords=1, k=4,
+                           delta_max=4000.0, seed=67),
+        )
+        plain_runs = boosted_runs = 0
+        for q in queries:
+            plain = tiny_db.diversified_search(index, q, method="com")
+            boosted = tiny_db.diversified_search(
+                index, q, method="com", landmarks=landmarks
+            )
+            plain_runs += plain.stats.pairwise_dijkstras
+            boosted_runs += boosted.stats.pairwise_dijkstras
+        assert boosted_runs <= plain_runs

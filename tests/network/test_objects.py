@@ -1,0 +1,98 @@
+"""Tests for the object store and edge snapping."""
+
+import pytest
+
+from repro.errors import DatasetError
+from repro.network.graph import NetworkPosition, RoadNetwork
+from repro.network.objects import ObjectStore, build_edge_rtree, snap_point_to_edge
+from repro.spatial.geometry import Point
+from repro.storage.pagefile import DiskManager
+
+
+@pytest.fixture()
+def store(line_network):
+    return ObjectStore(line_network)
+
+
+class TestStore:
+    def test_add_and_get(self, store):
+        obj = store.add(NetworkPosition(0, 10.0), {"pizza", "bar"})
+        assert store.get(obj.object_id).keywords == frozenset({"pizza", "bar"})
+        assert len(store) == 1
+
+    def test_empty_keywords_rejected(self, store):
+        with pytest.raises(DatasetError):
+            store.add(NetworkPosition(0, 10.0), [])
+
+    def test_offset_beyond_edge_rejected(self, store):
+        with pytest.raises(DatasetError):
+            store.add(NetworkPosition(0, 500.0), {"a"})
+
+    def test_unknown_object(self, store):
+        with pytest.raises(DatasetError):
+            store.get(42)
+
+    def test_objects_on_edge_sorted_by_offset(self, store):
+        store.add(NetworkPosition(0, 80.0), {"c"})
+        store.add(NetworkPosition(0, 10.0), {"a"})
+        store.add(NetworkPosition(0, 40.0), {"b"})
+        store.freeze()
+        offsets = [o.position.offset for o in store.objects_on_edge(0)]
+        assert offsets == [10.0, 40.0, 80.0]
+
+    def test_objects_on_empty_edge(self, store):
+        assert store.objects_on_edge(3) == []
+
+    def test_contains_all_and_any(self, store):
+        obj = store.add(NetworkPosition(0, 1.0), {"a", "b"})
+        assert obj.contains_all({"a"})
+        assert obj.contains_all({"a", "b"})
+        assert not obj.contains_all({"a", "c"})
+        assert obj.contains_any({"c", "b"})
+        assert not obj.contains_any({"x"})
+
+    def test_vocabulary_and_frequencies(self, store):
+        store.add(NetworkPosition(0, 1.0), {"a", "b"})
+        store.add(NetworkPosition(1, 1.0), {"a"})
+        assert store.vocabulary() == frozenset({"a", "b"})
+        assert store.keyword_frequencies() == {"a": 2, "b": 1}
+        assert store.average_keywords_per_object() == pytest.approx(1.5)
+
+    def test_object_point(self, store):
+        obj = store.add(NetworkPosition(0, 25.0), {"a"})
+        assert store.object_point(obj.object_id) == Point(25, 0)
+
+
+class TestSnapping:
+    def test_snap_onto_closest_edge(self, grid_network9):
+        disk = DiskManager(buffer_pages=16)
+        rtree = build_edge_rtree(grid_network9, disk.create_file("rt", "rtree"))
+        # Slightly off the bottom edge between nodes 0 (0,0) and 1 (100,0).
+        pos = snap_point_to_edge(grid_network9, rtree, Point(40.0, 7.0))
+        edge = grid_network9.edge(pos.edge_id)
+        assert {edge.n1, edge.n2} == {0, 1}
+        assert pos.offset == pytest.approx(40.0)
+
+    def test_snap_point_on_node(self, grid_network9):
+        disk = DiskManager(buffer_pages=16)
+        rtree = build_edge_rtree(grid_network9, disk.create_file("rt", "rtree"))
+        pos = snap_point_to_edge(grid_network9, rtree, Point(100.0, 100.0))
+        p = grid_network9.position_point(pos)
+        assert p.distance_to(Point(100, 100)) < 1e-6
+
+    def test_snap_distances_are_minimal(self, grid_network9):
+        import numpy as np
+        from repro.spatial.geometry import point_segment_distance
+
+        disk = DiskManager(buffer_pages=16)
+        rtree = build_edge_rtree(grid_network9, disk.create_file("rt", "rtree"))
+        rng = np.random.default_rng(1)
+        for _ in range(50):
+            p = Point(float(rng.uniform(0, 200)), float(rng.uniform(0, 200)))
+            pos = snap_point_to_edge(grid_network9, rtree, p)
+            snapped = grid_network9.position_point(pos)
+            best = min(
+                point_segment_distance(p, e.p1, e.p2)
+                for e in grid_network9.edges()
+            )
+            assert p.distance_to(snapped) == pytest.approx(best, abs=1e-6)

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["info", "MARS"])
+
+    def test_index_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["sk", "NA", "--index", "btree"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info", "SYN", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "num_objects" in out
+
+    def test_generate(self, tmp_path, capsys):
+        out_path = tmp_path / "snap.json"
+        assert main(["generate", "SYN", "--scale", "0.05",
+                     "--out", str(out_path)]) == 0
+        payload = json.loads(out_path.read_text())
+        assert payload["format"] == "repro-dataset"
+        assert payload["objects"]
+
+    def test_sk(self, capsys):
+        assert main([
+            "sk", "SYN", "--scale", "0.05", "--queries", "5",
+            "--keywords", "2", "--index", "sif",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "avg_io" in out
+
+    def test_diversify(self, capsys):
+        assert main([
+            "diversify", "SYN", "--scale", "0.05", "--queries", "3",
+            "--keywords", "2", "--k", "4",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SEQ" in out and "COM" in out
+
+    def test_compare(self, capsys):
+        assert main([
+            "compare", "SYN", "--scale", "0.05", "--queries", "4",
+            "--keywords", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        for label in ("IR", "IF", "SIF", "SIF-P"):
+            assert label in out

@@ -1,0 +1,65 @@
+"""Tests for the Zipf sampler."""
+
+import numpy as np
+import pytest
+
+from repro.text.zipf import ZipfSampler, zipf_probabilities
+
+
+class TestProbabilities:
+    def test_normalised(self):
+        p = zipf_probabilities(100, 1.1)
+        assert p.sum() == pytest.approx(1.0)
+        assert (p > 0).all()
+
+    def test_monotone_decreasing(self):
+        p = zipf_probabilities(50, 1.0)
+        assert (np.diff(p) < 0).all()
+
+    def test_zero_skew_is_uniform(self):
+        p = zipf_probabilities(10, 0.0)
+        assert np.allclose(p, 0.1)
+
+    def test_higher_skew_concentrates_mass(self):
+        low = zipf_probabilities(100, 0.9)
+        high = zipf_probabilities(100, 1.3)
+        assert high[0] > low[0]
+        assert high[:5].sum() > low[:5].sum()
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            zipf_probabilities(0, 1.0)
+        with pytest.raises(ValueError):
+            zipf_probabilities(10, -0.5)
+
+
+class TestSampler:
+    def test_empty_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler([], z=1.0)
+
+    def test_sample_counts(self):
+        s = ZipfSampler([f"t{i}" for i in range(20)], z=1.0, seed=0)
+        assert len(s.sample(7)) == 7
+        assert s.vocabulary_size == 20
+
+    def test_sample_distinct_unique(self):
+        s = ZipfSampler([f"t{i}" for i in range(20)], z=1.1, seed=1)
+        got = s.sample_distinct(8)
+        assert len(got) == len(set(got)) == 8
+
+    def test_sample_distinct_capped_at_vocab(self):
+        s = ZipfSampler(["a", "b", "c"], z=1.0, seed=2)
+        assert sorted(s.sample_distinct(10)) == ["a", "b", "c"]
+
+    def test_determinism_per_seed(self):
+        a = ZipfSampler([f"t{i}" for i in range(30)], z=1.0, seed=5)
+        b = ZipfSampler([f"t{i}" for i in range(30)], z=1.0, seed=5)
+        assert a.sample(20) == b.sample(20)
+
+    def test_skew_shows_in_samples(self):
+        s = ZipfSampler([f"t{i}" for i in range(100)], z=1.3, seed=3)
+        draws = s.sample(3000)
+        top = draws.count("t0")
+        tail = draws.count("t99")
+        assert top > 50 * max(tail, 1)

@@ -1,0 +1,74 @@
+"""Tests for workload execution and reporting."""
+
+import pytest
+
+from repro.workloads.queries import WorkloadConfig, generate_diversified_queries, generate_sk_queries
+from repro.workloads.runner import WorkloadReport, run_diversified_workload, run_sk_workload
+
+
+class TestReport:
+    def test_empty_report(self):
+        r = WorkloadReport(label="x")
+        assert r.avg_response_time == 0.0
+        assert r.avg_io == 0.0
+        assert r.avg_candidates == 0.0
+
+    def test_averages(self):
+        r = WorkloadReport(label="x", io_latency=0.001)
+        r.num_queries = 2
+        r.total_wall_seconds = 0.2
+        r.total_physical_reads = 100
+        r.total_candidates = 10
+        assert r.avg_io == 50.0
+        assert r.avg_candidates == 5.0
+        assert r.avg_response_time == pytest.approx((0.2 + 0.1) / 2)
+
+    def test_row_keys(self):
+        row = WorkloadReport(label="SIF").row()
+        assert set(row) == {
+            "label", "queries", "avg_time_ms", "avg_io",
+            "avg_candidates", "avg_false_hit_objects",
+        }
+
+
+class TestRunners:
+    def test_sk_workload(self, tiny_db, tiny_indexes):
+        queries = generate_sk_queries(
+            tiny_db, WorkloadConfig(num_queries=8, num_keywords=2, seed=44)
+        )
+        report = run_sk_workload(tiny_db, tiny_indexes["sif"], queries)
+        assert report.num_queries == 8
+        assert report.total_physical_reads >= 0
+        assert report.label == "SIF"
+
+    def test_cold_buffer_costs_more(self, tiny_db, tiny_indexes):
+        queries = generate_sk_queries(
+            tiny_db, WorkloadConfig(num_queries=8, num_keywords=2, seed=44)
+        )
+        warm = run_sk_workload(tiny_db, tiny_indexes["if"], queries)
+        cold = run_sk_workload(
+            tiny_db, tiny_indexes["if"], queries, cold_buffer=True
+        )
+        assert cold.total_physical_reads >= warm.total_physical_reads
+
+    def test_diversified_workload(self, tiny_db, tiny_indexes):
+        queries = generate_diversified_queries(
+            tiny_db, WorkloadConfig(num_queries=4, num_keywords=2, k=4, seed=15)
+        )
+        seq = run_diversified_workload(
+            tiny_db, tiny_indexes["sif"], queries, method="seq"
+        )
+        com = run_diversified_workload(
+            tiny_db, tiny_indexes["sif"], queries, method="com"
+        )
+        assert seq.num_queries == com.num_queries == 4
+        assert com.total_candidates <= seq.total_candidates
+
+    def test_custom_label(self, tiny_db, tiny_indexes):
+        queries = generate_sk_queries(
+            tiny_db, WorkloadConfig(num_queries=2, seed=5)
+        )
+        report = run_sk_workload(
+            tiny_db, tiny_indexes["sif"], queries, label="custom"
+        )
+        assert report.label == "custom"
