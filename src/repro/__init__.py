@@ -21,7 +21,7 @@ Quickstart::
         print(item.object.object_id, round(item.distance, 1))
 """
 
-from . import datasets, workloads
+from . import datasets, obs, workloads
 from .core.database import INDEX_KINDS, Database
 from .core.diversified_search import com_search, seq_search
 from .core.ine import INEExpansion
@@ -42,17 +42,23 @@ from .errors import (
     ReproError,
     StorageError,
 )
+from .network.distance import DistanceCache, PairwiseDistanceComputer
 from .network.graph import Edge, NetworkPosition, Node, RoadNetwork
 from .network.objects import ObjectStore, SpatioTextualObject
+from .obs import MetricsRegistry
 from .spatial.geometry import MBR, Point
 
 __version__ = "1.0.0"
 
 __all__ = [
     "datasets",
+    "obs",
     "workloads",
     "INDEX_KINDS",
     "Database",
+    "DistanceCache",
+    "PairwiseDistanceComputer",
+    "MetricsRegistry",
     "com_search",
     "seq_search",
     "INEExpansion",

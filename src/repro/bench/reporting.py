@@ -16,7 +16,15 @@ def format_table(rows: Sequence[Dict[str, object]], title: str = "") -> str:
     """Render dict rows as an aligned text table."""
     if not rows:
         return f"{title}\n(empty)" if title else "(empty)"
+    # Union of keys in first-seen order: rows may carry different stage
+    # columns (e.g. SEQ's greedy vs COM's maintenance).
     columns = list(rows[0].keys())
+    seen = set(columns)
+    for row in rows[1:]:
+        for key in row:
+            if key not in seen:
+                seen.add(key)
+                columns.append(key)
     widths = {
         c: max(len(str(c)), *(len(str(r.get(c, ""))) for r in rows)) for c in columns
     }

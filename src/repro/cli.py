@@ -7,6 +7,12 @@ Commands
 ``sk``        run an SK workload against one index and print the report
 ``diversify`` run a diversified workload (SEQ and COM) and print both
 ``compare``   run one workload against every index kind (mini Fig. 6)
+
+The workload commands accept ``--metrics <path>`` to stream one JSON
+record per query (latency, stage breakdown, cache/buffer deltas) plus
+workload summaries and a final registry snapshot to a JSON-lines file,
+and ``diversify`` accepts ``--distance-cache <entries>`` to serve the
+workload through a shared bounded distance cache.
 """
 
 from __future__ import annotations
@@ -27,6 +33,13 @@ from .workloads.queries import (
 from .workloads.runner import run_diversified_workload, run_sk_workload
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value <= 0:
+        raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -51,6 +64,10 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--keywords", type=int, default=3, metavar="L")
         p.add_argument("--delta-max", type=float, default=None)
         p.add_argument("--workload-seed", type=int, default=101)
+        p.add_argument(
+            "--metrics", metavar="PATH", default=None,
+            help="write per-query metric records (JSON lines) to PATH",
+        )
 
     p = sub.add_parser("info", help="dataset statistics")
     add_dataset_args(p)
@@ -70,6 +87,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--index", choices=INDEX_KINDS, default="sif")
     p.add_argument("--k", type=int, default=6)
     p.add_argument("--lambda", dest="lambda_", type=float, default=0.8)
+    p.add_argument(
+        "--distance-cache", type=_positive_int, default=None, metavar="ENTRIES",
+        help="share a bounded LRU distance cache (capacity in node-map "
+             "entries) across the workload's queries",
+    )
 
     p = sub.add_parser("compare", help="one workload, every index kind")
     add_dataset_args(p)
@@ -96,6 +118,30 @@ def _config(args, **extra) -> WorkloadConfig:
     )
 
 
+def _attach_metrics_sink(db, args):
+    """Attach a JSON-lines sink when ``--metrics`` was given."""
+    path = getattr(args, "metrics", None)
+    if not path:
+        return None
+    from .obs.sinks import JsonLinesSink
+
+    sink = JsonLinesSink(path)
+    db.metrics.add_sink(sink)
+    return sink
+
+
+def _close_metrics_sink(db, sink) -> None:
+    if sink is None:
+        return
+    snapshot = db.metrics.snapshot()
+    snapshot["type"] = "snapshot"
+    db.metrics.emit(snapshot)
+    db.metrics.remove_sink(sink)
+    sink.close()
+    print(f"Wrote {sink.records_written} metric records to {sink.path}",
+          file=sys.stderr)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
 
@@ -112,14 +158,19 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.command == "sk":
         db = _build_db(args)
+        sink = _attach_metrics_sink(db, args)
         index = db.build_index(args.index)
         queries = generate_sk_queries(db, _config(args))
         report = run_sk_workload(db, index, queries)
         print_table([report.row()], f"SK workload on {args.profile}")
+        _close_metrics_sink(db, sink)
         return 0
 
     if args.command == "diversify":
         db = _build_db(args)
+        sink = _attach_metrics_sink(db, args)
+        if args.distance_cache is not None:
+            db.use_shared_distance_cache(max_entries=args.distance_cache)
         index = db.build_index(args.index)
         queries = generate_diversified_queries(
             db, _config(args, k=args.k, lambda_=args.lambda_)
@@ -132,10 +183,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
         print_table(rows, f"Diversified workload on {args.profile} "
                           f"(k={args.k}, lambda={args.lambda_})")
+        if db.distance_cache is not None:
+            print(f"Shared distance cache: {db.distance_cache.stats()}",
+                  file=sys.stderr)
+        _close_metrics_sink(db, sink)
         return 0
 
     if args.command == "compare":
         db = _build_db(args)
+        sink = _attach_metrics_sink(db, args)
         queries = generate_sk_queries(db, _config(args))
         rows = []
         for kind in ("ir", "if", "sif", "sif-p"):
@@ -147,6 +203,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             row["size_KiB"] = index.size_bytes() // 1024
             rows.append(row)
         print_table(rows, f"Index comparison on {args.profile}")
+        _close_metrics_sink(db, sink)
         return 0
 
     return 1  # pragma: no cover — argparse enforces the choices

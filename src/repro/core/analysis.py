@@ -127,7 +127,6 @@ class CostModel:
     @classmethod
     def from_store(cls, store) -> "CostModel":
         """Fit the model parameters from an object store."""
-        edges = list(store.edges_with_objects())
         network_edges = store.network.num_edges
         total_objects = len(store)
         m = total_objects / max(1, network_edges)

@@ -22,8 +22,9 @@ from ..index.sif import SIFIndex
 from ..index.sif_g import SIFGIndex
 from ..index.sif_p import SIFPIndex
 from ..network.ccam import CCAMStore
-from ..network.distance import PairwiseDistanceComputer
+from ..network.distance import DistanceCache, PairwiseDistanceComputer
 from ..network.graph import NetworkPosition, RoadNetwork
+from ..obs.metrics import MetricsRegistry
 from ..network.objects import ObjectStore, SpatioTextualObject, build_edge_rtree, snap_point_to_edge
 from ..spatial.geometry import Point
 from ..spatial.kdtree import KDTreePartition
@@ -49,6 +50,7 @@ class Database:
         buffer_pages: Optional[int] = None,
         buffer_fraction: float = 0.02,
         curve: Optional[ZOrderCurve] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         """Create the disk-resident network structures.
 
@@ -56,9 +58,19 @@ class Database:
         buffer is sized at ``buffer_fraction`` of the dataset (the
         paper uses 2 % of the network dataset size) once
         :meth:`freeze` is called.
+
+        ``metrics`` optionally injects a shared
+        :class:`~repro.obs.metrics.MetricsRegistry`; by default every
+        database owns its own.  Every query records its latency,
+        per-stage breakdown and counter deltas into it and emits one
+        record per query to any attached sink.
         """
         self.network = network
         self.curve = curve or ZOrderCurve()
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: Optional distance cache shared across diversified queries
+        #: (see :meth:`use_shared_distance_cache`).
+        self.distance_cache: Optional[DistanceCache] = None
         self.disk = DiskManager(buffer_pages=buffer_pages or 1 << 30)
         self._explicit_buffer = buffer_pages
         self._buffer_fraction = buffer_fraction
@@ -185,15 +197,83 @@ class Database:
         raise QueryError(f"unknown index kind {kind!r}; expected one of {INDEX_KINDS}")
 
     # ------------------------------------------------------------------
+    # Shared distance cache (warm-cache serving)
+    # ------------------------------------------------------------------
+    def use_shared_distance_cache(
+        self,
+        max_entries: Optional[int] = 250_000,
+        cache: Optional[DistanceCache] = None,
+    ) -> DistanceCache:
+        """Install a :class:`DistanceCache` shared across diversified
+        queries.
+
+        Every subsequent :meth:`diversified_search` backs its pairwise
+        computer onto this cache, so node maps computed for one query
+        answer later queries' pairwise evaluations (cache keys embed
+        the Dijkstra cutoff, so queries with different ``delta_max``
+        never read each other's truncated maps).  ``max_entries``
+        bounds the cache in node-map entries (LRU eviction); pass an
+        existing ``cache`` to share one across databases.  Returns the
+        installed cache; ``db.distance_cache = None`` reverts to
+        per-query private caches.
+        """
+        self.distance_cache = cache if cache is not None else DistanceCache(
+            max_entries=max_entries
+        )
+        return self.distance_cache
+
+    # ------------------------------------------------------------------
+    # Metrics recording
+    # ------------------------------------------------------------------
+    def _record_query(self, kind: str, label: str, stats: QueryStats) -> None:
+        """Aggregate one query's stats into the registry + emit a record."""
+        m = self.metrics
+        m.inc("query.count")
+        m.observe("query.wall_seconds", stats.wall_seconds)
+        m.observe_stages(stats.stage_seconds)
+        m.inc("pairwise.dijkstra_runs", stats.pairwise_dijkstras)
+        m.inc("distance_cache.hits", stats.distance_cache_hits)
+        m.inc("distance_cache.misses", stats.distance_cache_misses)
+        m.inc("distance_cache.evictions", stats.distance_cache_evictions)
+        m.inc("buffer.evictions", stats.buffer_evictions)
+        if stats.io is not None:
+            m.inc("io.logical_reads", stats.io.logical_reads)
+            m.inc("io.physical_reads", stats.io.physical_reads)
+            m.inc("io.buffer_hits", stats.io.buffer_hits)
+        record = {
+            "type": "query",
+            "kind": kind,
+            "label": label,
+            "wall_seconds": stats.wall_seconds,
+            "stages": dict(stats.stage_seconds),
+            "candidates": stats.candidates,
+            "pairwise_dijkstras": stats.pairwise_dijkstras,
+            "distance_cache": {
+                "hits": stats.distance_cache_hits,
+                "misses": stats.distance_cache_misses,
+                "evictions": stats.distance_cache_evictions,
+            },
+            "io": {
+                "logical_reads": stats.io.logical_reads,
+                "physical_reads": stats.io.physical_reads,
+                "buffer_hits": stats.io.buffer_hits,
+                "buffer_evictions": stats.buffer_evictions,
+            } if stats.io is not None else None,
+        }
+        m.emit(record)
+
+    # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
     def sk_search(self, index: ObjectIndex, query: SKQuery) -> SKResult:
         """Algorithm 3: boolean SK range search on the road network."""
         self._ensure_frozen()
         before = self.disk.stats.snapshot()
+        evictions_before = self.disk.buffer.evictions
         counters_before = (
             index.counters.objects_loaded,
             index.counters.false_hit_objects,
+            index.counters.signature_seconds,
         )
         start = time.perf_counter()
         expansion = INEExpansion(
@@ -211,7 +291,14 @@ class Database:
             false_hit_objects=index.counters.false_hit_objects - counters_before[1],
             candidates=len(items),
             io=after - before,
+            buffer_evictions=self.disk.buffer.evictions - evictions_before,
+            stage_seconds={
+                "expansion": wall,
+                "object_loading": expansion.stats.load_seconds,
+                "signature": index.counters.signature_seconds - counters_before[2],
+            },
         )
+        self._record_query("sk", index.name, stats)
         return SKResult(items, stats)
 
     def sk_knn(self, index: ObjectIndex, query) -> "SKkNNResult":
@@ -235,18 +322,28 @@ class Database:
         """Diversified SK search via ``"seq"`` or ``"com"``.
 
         ``landmarks`` (a :class:`repro.network.landmarks.LandmarkIndex`)
-        tightens COM's pruning bounds; ignored by SEQ."""
+        tightens COM's pruning bounds; ignored by SEQ.
+
+        When a shared distance cache is installed
+        (:meth:`use_shared_distance_cache`) the pairwise computer backs
+        onto it, so node maps survive across queries; all reported
+        stats remain per-query deltas."""
         self._ensure_frozen()
         method = method.lower()
         if method not in ("seq", "com"):
             raise QueryError("method must be 'seq' or 'com'")
         before = self.disk.stats.snapshot()
+        evictions_before = self.disk.buffer.evictions
         counters_before = (
             index.counters.objects_loaded,
             index.counters.false_hit_objects,
+            index.counters.signature_seconds,
         )
         pairwise = PairwiseDistanceComputer(
-            self.ccam, self.network, cutoff=2.0 * query.delta_max * 1.001
+            self.ccam,
+            self.network,
+            cutoff=2.0 * query.delta_max * 1.001,
+            cache=self.distance_cache,
         )
         if method == "seq":
             result = seq_search(
@@ -270,6 +367,13 @@ class Database:
         result.stats.false_hit_objects = (
             index.counters.false_hit_objects - counters_before[1]
         )
+        result.stats.buffer_evictions = (
+            self.disk.buffer.evictions - evictions_before
+        )
+        result.stats.stage_seconds["signature"] = (
+            index.counters.signature_seconds - counters_before[2]
+        )
+        self._record_query(f"diversified/{method}", index.name, result.stats)
         return result
 
     # ------------------------------------------------------------------

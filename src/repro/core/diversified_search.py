@@ -12,6 +12,13 @@ algorithm (paper §4.1 and Algorithm 6).
   to (a) prune visited objects that can never become core and (b)
   terminate the network expansion as soon as no unvisited object can
   contribute — closing the INE generator mid-flight.
+
+Both entry points record a per-stage time breakdown into
+``QueryStats.stage_seconds`` (``expansion``, ``object_loading``,
+``maintenance``/``greedy``, ``pairwise_dijkstra``, ``finalise``) and
+report every counter as a *per-query delta*, so a shared
+:class:`~repro.network.distance.PairwiseDistanceComputer` (warm-cache
+serving) never leaks earlier queries' work into this query's stats.
 """
 
 from __future__ import annotations
@@ -23,6 +30,7 @@ from typing import Callable, List, Optional
 from ..index.base import ObjectIndex
 from ..network.distance import AdjacencyProvider, PairwiseDistanceComputer
 from ..network.graph import RoadNetwork
+from ..obs.metrics import StageClock
 from .core_pairs import CorePairMaintainer
 from .diversify import greedy_diversify
 from .ine import INEExpansion
@@ -39,6 +47,39 @@ def _make_pair_distance(
         return computer.distance(a.object.position, b.object.position)
 
     return pair_distance
+
+
+class _ComputerDelta:
+    """Snapshots a (possibly shared) computer's lifetime counters.
+
+    ``seq_search``/``com_search`` historically reported
+    ``computer.dijkstra_runs`` directly; with a shared ``pairwise=``
+    computer that is the *lifetime* total and over-counts earlier
+    queries' runs.  This helper pins the start values so per-query
+    stats are true deltas.
+    """
+
+    def __init__(self, computer: PairwiseDistanceComputer) -> None:
+        self._computer = computer
+        self._runs = computer.dijkstra_runs
+        self._seconds = computer.dijkstra_seconds
+        cache = computer.cache
+        self._hits, self._misses, self._evictions = cache.counters_snapshot()
+
+    @property
+    def dijkstra_runs(self) -> int:
+        return self._computer.dijkstra_runs - self._runs
+
+    @property
+    def dijkstra_seconds(self) -> float:
+        return self._computer.dijkstra_seconds - self._seconds
+
+    def apply(self, stats: QueryStats) -> None:
+        stats.pairwise_dijkstras = self.dijkstra_runs
+        hits, misses, evictions = self._computer.cache.counters_snapshot()
+        stats.distance_cache_hits = hits - self._hits
+        stats.distance_cache_misses = misses - self._misses
+        stats.distance_cache_evictions = evictions - self._evictions
 
 
 def _finalise(
@@ -66,25 +107,36 @@ def seq_search(
 ) -> DiversifiedResult:
     """The straightforward SEQ implementation (paper §4.1)."""
     start = time.perf_counter()
+    clock = StageClock()
     expansion = INEExpansion(
         provider, network, index, query.position, query.terms, query.delta_max
     )
-    candidates = expansion.run_to_completion()
     objective = DiversificationObjective(query.lambda_, query.delta_max)
     computer = pairwise or PairwiseDistanceComputer(
         provider, network, cutoff=2.0 * query.delta_max * 1.001
     )
-    chosen = greedy_diversify(
-        candidates, query.k, objective, _make_pair_distance(computer)
-    )
+    delta = _ComputerDelta(computer)
+
+    with clock.stage("expansion"):
+        candidates = expansion.run_to_completion()
+    with clock.stage("greedy"):
+        chosen = greedy_diversify(
+            candidates, query.k, objective, _make_pair_distance(computer)
+        )
+
     stats = QueryStats(
-        wall_seconds=time.perf_counter() - start,
         nodes_accessed=expansion.stats.nodes_accessed,
         edges_accessed=expansion.stats.edges_accessed,
         candidates=len(candidates),
-        pairwise_dijkstras=computer.dijkstra_runs,
     )
-    return _finalise(chosen, objective, computer, "SEQ", stats)
+    with clock.stage("finalise"):
+        result = _finalise(chosen, objective, computer, "SEQ", stats)
+    delta.apply(stats)
+    clock.add("object_loading", expansion.stats.load_seconds)
+    clock.add("pairwise_dijkstra", delta.dijkstra_seconds)
+    stats.stage_seconds = clock.stages
+    stats.wall_seconds = time.perf_counter() - start
+    return result
 
 
 def com_search(
@@ -108,6 +160,7 @@ def com_search(
     Dijkstras without changing any answer (ablation A4).
     """
     start = time.perf_counter()
+    clock = StageClock()
     expansion = INEExpansion(
         provider, network, index, query.position, query.terms, query.delta_max
     )
@@ -115,6 +168,7 @@ def com_search(
     computer = pairwise or PairwiseDistanceComputer(
         provider, network, cutoff=2.0 * query.delta_max * 1.001
     )
+    delta = _ComputerDelta(computer)
     pair_ub = None
     if landmarks is not None:
         def pair_ub(a, b):
@@ -126,23 +180,28 @@ def com_search(
         pair_distance_upper_bound=pair_ub,
     )
 
-    stream = expansion.run()
+    stream = clock.timed_iter(expansion.run(), "expansion")
     first = list(islice(stream, query.k))
-    maintainer.bootstrap(first)
+    with clock.stage("maintenance"):
+        maintainer.bootstrap(first)
     candidates = len(first)
     terminated_early = False
 
     for item in stream:
         candidates += 1
+        t_item = time.perf_counter()
         maintainer.add(item)
         if not enable_pruning:
+            clock.add("maintenance", time.perf_counter() - t_item)
             continue
         theta_t = maintainer.theta_t
         if theta_t == float("-inf"):
+            clock.add("maintenance", time.perf_counter() - t_item)
             continue
         gamma = item.distance  # objects arrive in distance order
         # Bound for any pair of two unvisited objects (Alg. 6 lines 4-7).
         if objective.theta_ub_unvisited(gamma) >= theta_t:
+            clock.add("maintenance", time.perf_counter() - t_item)
             continue
         can_terminate = True
         for o_i in maintainer.active_objects():
@@ -155,6 +214,7 @@ def com_search(
             if maintainer.best_theta(oid) < theta_t and not maintainer.is_core(oid):
                 # o_i can pair with nothing: drop it (Alg. 6 lines 13-14).
                 maintainer.prune(oid)
+        clock.add("maintenance", time.perf_counter() - t_item)
         if can_terminate:
             stream.close()  # terminate the network expansion (line 16)
             terminated_early = True
@@ -162,12 +222,17 @@ def com_search(
 
     chosen = maintainer.core_objects()[: query.k]
     stats = QueryStats(
-        wall_seconds=time.perf_counter() - start,
         nodes_accessed=expansion.stats.nodes_accessed,
         edges_accessed=expansion.stats.edges_accessed,
         candidates=candidates,
-        pairwise_dijkstras=computer.dijkstra_runs,
         theta_evaluations=maintainer.theta_evaluations,
         expansion_terminated_early=terminated_early,
     )
-    return _finalise(chosen, objective, computer, "COM", stats)
+    with clock.stage("finalise"):
+        result = _finalise(chosen, objective, computer, "COM", stats)
+    delta.apply(stats)
+    clock.add("object_loading", expansion.stats.load_seconds)
+    clock.add("pairwise_dijkstra", delta.dijkstra_seconds)
+    stats.stage_seconds = clock.stages
+    stats.wall_seconds = time.perf_counter() - start
+    return result

@@ -17,6 +17,7 @@ exactly as the paper's Algorithm 6 line 16 does.
 from __future__ import annotations
 
 import heapq
+import time
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
 
@@ -37,6 +38,9 @@ class ExpansionStats:
     edges_accessed: int = 0
     objects_emitted: int = 0
     terminated_early: bool = False
+    #: Wall seconds spent inside ``index.load_objects`` (Algorithm 2:
+    #: signature tests + posting fetches), a sub-stage of expansion.
+    load_seconds: float = 0.0
 
 
 class INEExpansion:
@@ -71,6 +75,14 @@ class INEExpansion:
         self._terms = terms
         self._delta_max = delta_max
         self.stats = ExpansionStats()
+
+    def _load_objects(
+        self, edge_id: int, terms: FrozenSet[str]
+    ) -> List[SpatioTextualObject]:
+        start = time.perf_counter()
+        matches = self._index.load_objects(edge_id, terms)
+        self.stats.load_seconds += time.perf_counter() - start
+        return matches
 
     def run(self) -> Iterator[ResultItem]:
         """Yield matching objects in non-decreasing network distance."""
@@ -116,7 +128,7 @@ class INEExpansion:
         # Seed: the query's own edge.
         visited_edges.add(query_edge)
         self.stats.edges_accessed += 1
-        for obj in self._index.load_objects(query_edge, self._terms):
+        for obj in self._load_objects(query_edge, self._terms):
             dist = abs(obj.position.offset - self._position.offset)
             if dist <= delta_max:
                 queue_object(obj, dist)
@@ -149,7 +161,7 @@ class INEExpansion:
                 if edge_id not in visited_edges:
                     visited_edges.add(edge_id)
                     self.stats.edges_accessed += 1
-                    matches = self._index.load_objects(edge_id, self._terms)
+                    matches = self._load_objects(edge_id, self._terms)
                     if matches:
                         edge_objects[edge_id] = matches
                     for obj in matches:

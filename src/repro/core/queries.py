@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import FrozenSet, Iterable, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from ..errors import QueryError
 from ..network.graph import NetworkPosition
@@ -95,7 +95,15 @@ class ResultItem:
 
 @dataclass
 class QueryStats:
-    """Measurements of one query execution."""
+    """Measurements of one query execution.
+
+    All counters are *per-query deltas*, even when the underlying
+    machinery (pairwise computer, distance cache, buffer pool) is
+    shared across queries.  ``stage_seconds`` maps stage names
+    (``expansion``, ``object_loading``, ``signature``,
+    ``pairwise_dijkstra``, ``maintenance``, ``finalise``, ...) to wall
+    seconds; stages may nest, so they need not sum to ``wall_seconds``.
+    """
 
     wall_seconds: float = 0.0
     nodes_accessed: int = 0
@@ -107,6 +115,11 @@ class QueryStats:
     theta_evaluations: int = 0
     expansion_terminated_early: bool = False
     io: Optional[IOSnapshot] = None
+    stage_seconds: Dict[str, float] = field(default_factory=dict)
+    distance_cache_hits: int = 0
+    distance_cache_misses: int = 0
+    distance_cache_evictions: int = 0
+    buffer_evictions: int = 0
 
     @property
     def physical_reads(self) -> int:

@@ -35,6 +35,10 @@ class LoadCounters:
     false_hits: int = 0
     false_hit_objects: int = 0
     results_returned: int = 0
+    #: Wall seconds spent in signature verification (the in-memory
+    #: bitmap tests of SIF / SIF-P / SIF-G); sampled as per-query
+    #: deltas by the metrics layer.
+    signature_seconds: float = 0.0
 
     def reset(self) -> None:
         self.edges_probed = 0
@@ -43,6 +47,7 @@ class LoadCounters:
         self.false_hits = 0
         self.false_hit_objects = 0
         self.results_returned = 0
+        self.signature_seconds = 0.0
 
 
 class ObjectIndex(abc.ABC):

@@ -65,7 +65,10 @@ class SIFIndex(ObjectIndex):
     def load_objects(
         self, edge_id: int, terms: FrozenSet[str]
     ) -> List[SpatioTextualObject]:
-        if not self._signatures.test(edge_id, terms):
+        start = time.perf_counter()
+        passed = self._signatures.test(edge_id, terms)
+        self.counters.signature_seconds += time.perf_counter() - start
+        if not passed:
             self.counters.edges_pruned_by_signature += 1
             return []
         return self._inverted.load_objects(edge_id, terms)

@@ -121,11 +121,15 @@ class SIFGIndex(ObjectIndex):
     ) -> List[SpatioTextualObject]:
         pairs, singles = self._cover(terms)
         # Signature test: group bits for pairs, plain bits for singles.
+        sig_start = time.perf_counter()
         for pair in pairs:
             if edge_id not in self._group_bits.get(pair, ()):
+                self.counters.signature_seconds += time.perf_counter() - sig_start
                 self.counters.edges_pruned_by_signature += 1
                 return []
-        if not self._signatures.test(edge_id, singles):
+        passed = self._signatures.test(edge_id, singles)
+        self.counters.signature_seconds += time.perf_counter() - sig_start
+        if not passed:
             self.counters.edges_pruned_by_signature += 1
             return []
 

@@ -217,11 +217,13 @@ class SIFPIndex(ObjectIndex):
         segments = self._segments.get(edge_id)
         if segments is None:
             return []  # no objects on this edge at all
+        sig_start = time.perf_counter()
         passing = [
             v_idx
             for v_idx in range(len(segments))
             if all(self._bit(edge_id, v_idx, t) for t in terms)
         ]
+        self.counters.signature_seconds += time.perf_counter() - sig_start
         if not passing:
             self.counters.edges_pruned_by_signature += 1
             return []

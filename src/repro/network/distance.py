@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import heapq
 import math
+import time
+from collections import OrderedDict
 from typing import Dict, Iterable, Optional, Protocol, Sequence, Tuple
 
 from .graph import NetworkPosition, RoadNetwork
@@ -22,6 +24,7 @@ __all__ = [
     "single_source_distances",
     "position_distance_from_node_map",
     "network_distance",
+    "DistanceCache",
     "PairwiseDistanceComputer",
 ]
 
@@ -118,7 +121,8 @@ def network_distance(
     dist: Dict[int, float] = {}
     heap: list = []
     for node_id, d in seed_distances(network, a).items():
-        heapq.heappush(heap, (d, node_id))
+        if d <= cutoff:
+            heapq.heappush(heap, (d, node_id))
     best = INF
     while heap:
         d, node_id = heapq.heappop(heap)
@@ -142,13 +146,117 @@ def network_distance(
     return best if best <= cutoff else INF
 
 
+#: Cache key of one single-source node map.  The cutoff is part of the
+#: key: a map computed under a smaller cutoff is *truncated* and must
+#: never answer for a query with a larger one (it would report ``inf``
+#: for nodes that are actually reachable).
+CacheKey = Tuple[int, float, float]
+
+
+class DistanceCache:
+    """Bounded LRU cache of single-source node-distance maps.
+
+    Capacity is counted in *node-map entries* — the total number of
+    ``(node, distance)`` pairs across every cached map — because maps
+    from dense regions dwarf maps from sparse ones; bounding the map
+    count alone would make memory use workload-dependent.
+
+    ``max_entries=None`` disables the bound (the per-query private
+    cache of :class:`PairwiseDistanceComputer`, matching the historic
+    behaviour).  A bounded instance can be shared across queries of a
+    workload (see :meth:`repro.core.database.Database.use_shared_distance_cache`);
+    sharing is safe because keys embed ``(edge_id, offset, cutoff)``,
+    so queries with different ``delta_max`` never read each other's
+    truncated maps.
+
+    ``hits``/``misses``/``evictions`` are plain integers sampled as
+    deltas by the metrics layer — no callback overhead on the hot path.
+    """
+
+    def __init__(self, max_entries: Optional[int] = None) -> None:
+        if max_entries is not None and max_entries <= 0:
+            raise ValueError("max_entries must be positive or None")
+        self.max_entries = max_entries
+        self._maps: "OrderedDict[CacheKey, Dict[int, float]]" = OrderedDict()
+        self._entries = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._maps)
+
+    @property
+    def entries(self) -> int:
+        """Total ``(node, distance)`` pairs currently cached."""
+        return self._entries
+
+    def get(self, *keys: CacheKey):
+        """First cached map among ``keys`` as ``(key, node_map)``.
+
+        Probing several keys (the two endpoints of a symmetric pair)
+        counts as *one* lookup: one hit when any key is cached, one
+        miss when none is.
+        """
+        for key in keys:
+            node_map = self._maps.get(key)
+            if node_map is not None:
+                self._maps.move_to_end(key)
+                self.hits += 1
+                return key, node_map
+        self.misses += 1
+        return None
+
+    def put(self, key: CacheKey, node_map: Dict[int, float]) -> None:
+        old = self._maps.pop(key, None)
+        if old is not None:
+            self._entries -= len(old)
+        self._maps[key] = node_map
+        self._entries += len(node_map)
+        if self.max_entries is not None:
+            # Evict LRU maps until within budget; the newly inserted
+            # map always stays (an oversized map would otherwise make
+            # every future put a no-op).
+            while self._entries > self.max_entries and len(self._maps) > 1:
+                _, evicted = self._maps.popitem(last=False)
+                self._entries -= len(evicted)
+                self.evictions += 1
+
+    def clear(self) -> None:
+        """Drop every cached map; counters keep their lifetime values."""
+        self._maps.clear()
+        self._entries = 0
+
+    def counters_snapshot(self) -> Tuple[int, int, int]:
+        return (self.hits, self.misses, self.evictions)
+
+    def stats(self) -> Dict[str, Optional[int]]:
+        """A JSON-able view for metric records and reports."""
+        return {
+            "maps": len(self._maps),
+            "entries": self._entries,
+            "max_entries": self.max_entries,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+        }
+
+
 class PairwiseDistanceComputer:
-    """Caches single-source node-distance maps for pairwise queries.
+    """Evaluates pairwise distances through a :class:`DistanceCache`.
 
     Diversified search needs many ``δ(o_i, o_j)`` evaluations over the
     same small set of candidates (paper §4.1 calls this "cost
     expensive").  Each distinct source runs one bounded Dijkstra whose
     node map is cached; subsequent pairs against that source are O(1).
+    Distances are symmetric, so a pair is answered from *either*
+    endpoint's cached map before any new Dijkstra runs.
+
+    ``cache`` may be shared across computers (and therefore queries);
+    when omitted a private unbounded cache reproduces the historic
+    per-query behaviour.  ``dijkstra_runs``/``dijkstra_seconds`` are
+    lifetime totals of *this computer*; callers that share a computer
+    across queries must snapshot and report deltas.
     """
 
     def __init__(
@@ -156,30 +264,51 @@ class PairwiseDistanceComputer:
         provider: AdjacencyProvider,
         network: RoadNetwork,
         cutoff: float = INF,
+        cache: Optional[DistanceCache] = None,
     ) -> None:
         self._provider = provider
         self._network = network
         self._cutoff = cutoff
-        self._maps: Dict[Tuple[int, float], Dict[int, float]] = {}
+        self._cache = cache if cache is not None else DistanceCache()
         self.dijkstra_runs = 0
+        self.dijkstra_seconds = 0.0
 
-    def _map_for(self, pos: NetworkPosition) -> Dict[int, float]:
-        key = (pos.edge_id, pos.offset)
-        node_map = self._maps.get(key)
-        if node_map is None:
-            node_map = single_source_distances(
-                self._provider, self._network, pos, cutoff=self._cutoff
-            )
-            self._maps[key] = node_map
-            self.dijkstra_runs += 1
+    @property
+    def cache(self) -> DistanceCache:
+        return self._cache
+
+    @property
+    def cutoff(self) -> float:
+        return self._cutoff
+
+    def _key(self, pos: NetworkPosition) -> CacheKey:
+        return (pos.edge_id, pos.offset, self._cutoff)
+
+    def _run_dijkstra(self, pos: NetworkPosition) -> Dict[int, float]:
+        start = time.perf_counter()
+        node_map = single_source_distances(
+            self._provider, self._network, pos, cutoff=self._cutoff
+        )
+        self.dijkstra_seconds += time.perf_counter() - start
+        self.dijkstra_runs += 1
+        self._cache.put(self._key(pos), node_map)
         return node_map
 
     def distance(self, a: NetworkPosition, b: NetworkPosition) -> float:
         """``δ(a, b)``, or ``inf`` when it exceeds the cutoff."""
         if a.edge_id == b.edge_id:
             return abs(a.offset - b.offset)
-        node_map = self._map_for(a)
-        d = position_distance_from_node_map(self._network, node_map, b, source=a)
+        key_a = self._key(a)
+        found = self._cache.get(key_a, self._key(b))
+        if found is None:
+            node_map, source, target = self._run_dijkstra(a), a, b
+        elif found[0] == key_a:
+            node_map, source, target = found[1], a, b
+        else:
+            node_map, source, target = found[1], b, a
+        d = position_distance_from_node_map(
+            self._network, node_map, target, source=source
+        )
         return d if d <= self._cutoff else INF
 
     def pairwise(

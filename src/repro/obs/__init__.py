@@ -1,0 +1,23 @@
+"""Observability: counters, histograms, stage timers and record sinks.
+
+The metrics layer makes the serving-performance story measurable: each
+:class:`~repro.core.database.Database` owns a
+:class:`~repro.obs.metrics.MetricsRegistry`; every query records its
+wall time, per-stage breakdown (INE expansion, signature verification,
+pairwise Dijkstras, greedy/core-pair maintenance, simulated buffer
+I/O) and cache/buffer counter deltas into it, and emits one JSON-able
+record per query to any attached sink.
+"""
+
+from .metrics import Counter, Histogram, MetricsRegistry, StageClock
+from .sinks import InMemorySink, JsonLinesSink, Sink
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "StageClock",
+    "InMemorySink",
+    "JsonLinesSink",
+    "Sink",
+]

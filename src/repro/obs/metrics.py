@@ -1,0 +1,255 @@
+"""Metric primitives: counters, histograms and per-stage timers.
+
+The paper reports one number per experiment (average response time);
+a serving system needs to know *where* each query's time went and what
+the tail looks like.  This module supplies the three primitives the
+rest of the library records into:
+
+* :class:`Counter` — a monotonically increasing integer.
+* :class:`Histogram` — a sample store with percentile queries
+  (p50/p95/p99) over everything observed.
+* :class:`StageClock` — a per-query accumulator of named stage
+  durations (``expansion``, ``pairwise_dijkstra``, ...).
+
+:class:`MetricsRegistry` names and owns the counters and histograms of
+one :class:`~repro.core.database.Database` and fans per-query records
+out to sinks (:mod:`repro.obs.sinks`).
+
+Instrumentation overhead matters: the hot paths (buffer accesses,
+distance-cache probes) keep plain integer attributes that are read as
+*deltas* at query granularity; only a few dozen registry calls happen
+per query, keeping the overhead well under the ~5 % budget.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["Counter", "Histogram", "StageClock", "MetricsRegistry"]
+
+
+class Counter:
+    """A named monotonically increasing counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, n: int = 1) -> None:
+        self.value += n
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return f"Counter({self.name}={self.value})"
+
+
+class Histogram:
+    """Stores observed samples and answers percentile queries.
+
+    Samples are kept exactly up to ``max_samples``; beyond that the
+    store is halved and the sampling stride doubled, so what remains is
+    always a uniform systematic subsample of the whole stream (without
+    the stride, post-halving observations would arrive at full rate
+    and recent values would dominate the percentiles).  Memory stays
+    bounded on long workloads while count/sum/min/max remain exact.
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "_samples",
+                 "_max_samples", "_sorted", "_stride", "_pending")
+
+    def __init__(self, name: str, max_samples: int = 65536) -> None:
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+        self._samples: List[float] = []
+        self._max_samples = max_samples
+        self._sorted = True
+        self._stride = 1
+        self._pending = 0
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+        self._pending += 1
+        if self._pending < self._stride:
+            return
+        self._pending = 0
+        self._samples.append(value)
+        self._sorted = False
+        if len(self._samples) > self._max_samples:
+            self._samples = self._samples[::2]
+            self._stride *= 2
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100) of the observed samples."""
+        if not self._samples:
+            return 0.0
+        if not self._sorted:
+            self._samples.sort()
+            self._sorted = True
+        if len(self._samples) == 1:
+            return self._samples[0]
+        rank = (p / 100.0) * (len(self._samples) - 1)
+        lo = int(math.floor(rank))
+        hi = min(lo + 1, len(self._samples) - 1)
+        frac = rank - lo
+        return self._samples[lo] * (1.0 - frac) + self._samples[hi] * frac
+
+    def summary(self) -> Dict[str, float]:
+        if not self.count:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "mean": self.mean,
+            "min": self.min,
+            "max": self.max,
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return f"Histogram({self.name}, n={self.count})"
+
+
+class StageClock:
+    """Accumulates wall time per named stage for one query execution.
+
+    Stages may nest or overlap (e.g. ``pairwise_dijkstra`` time is also
+    inside ``maintenance`` for COM); consumers must not assume the
+    stage times partition the query wall time.
+    """
+
+    __slots__ = ("stages",)
+
+    def __init__(self) -> None:
+        self.stages: Dict[str, float] = {}
+
+    def add(self, stage: str, seconds: float) -> None:
+        self.stages[stage] = self.stages.get(stage, 0.0) + seconds
+
+    @contextmanager
+    def stage(self, name: str):
+        t0 = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.add(name, time.perf_counter() - t0)
+
+    def timed_iter(self, iterable, stage: str):
+        """Wrap an iterator, charging time spent producing items.
+
+        Closing the wrapper closes the underlying iterator, preserving
+        COM's early-termination contract (Algorithm 6 line 16).
+        """
+        iterator = iter(iterable)
+        try:
+            while True:
+                t0 = time.perf_counter()
+                try:
+                    item = next(iterator)
+                except StopIteration:
+                    self.add(stage, time.perf_counter() - t0)
+                    return
+                self.add(stage, time.perf_counter() - t0)
+                yield item
+        finally:
+            close = getattr(iterator, "close", None)
+            if close is not None:
+                close()
+
+
+class MetricsRegistry:
+    """Named counters + histograms of one database, with record sinks."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._sinks: List = []
+
+    # -- creation / lookup --------------------------------------------
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram(name)
+        return h
+
+    # -- recording ----------------------------------------------------
+    def inc(self, name: str, n: int = 1) -> None:
+        self.counter(name).inc(n)
+
+    def observe(self, name: str, value: float) -> None:
+        self.histogram(name).observe(value)
+
+    def observe_stages(
+        self, stages: Dict[str, float], prefix: str = "stage."
+    ) -> None:
+        """Record one query's per-stage seconds into stage histograms."""
+        for stage, seconds in stages.items():
+            self.observe(f"{prefix}{stage}.seconds", seconds)
+
+    # -- sinks --------------------------------------------------------
+    def add_sink(self, sink) -> None:
+        """Attach a sink; it receives every record passed to :meth:`emit`."""
+        self._sinks.append(sink)
+
+    def remove_sink(self, sink) -> None:
+        if sink in self._sinks:
+            self._sinks.remove(sink)
+
+    def emit(self, record: Dict) -> None:
+        """Fan one record (a JSON-able dict) out to every sink."""
+        for sink in self._sinks:
+            sink.emit(record)
+
+    def close(self) -> None:
+        for sink in self._sinks:
+            close = getattr(sink, "close", None)
+            if close is not None:
+                close()
+
+    # -- reporting ----------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        return {name: c.value for name, c in sorted(self._counters.items())}
+
+    def histograms(self) -> Dict[str, Histogram]:
+        return dict(self._histograms)
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """One JSON-able dict of every counter and histogram summary."""
+        return {
+            "counters": self.counters(),
+            "histograms": {
+                name: h.summary()
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def percentiles(
+        self, name: str, ps: Sequence[float] = (50, 95, 99)
+    ) -> Optional[Dict[float, float]]:
+        h = self._histograms.get(name)
+        if h is None or not h.count:
+            return None
+        return {p: h.percentile(p) for p in ps}

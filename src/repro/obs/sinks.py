@@ -1,0 +1,83 @@
+"""Metric record sinks: where per-query records go.
+
+A *sink* receives JSON-able dict records via ``emit(record)`` and may
+implement ``close()``.  Two implementations cover the two consumers we
+have today:
+
+* :class:`InMemorySink` — keeps records in a list (tests, notebooks).
+* :class:`JsonLinesSink` — appends one JSON object per line to a file
+  (the CLI's ``--metrics <path>``), flushing on every record so a
+  killed run still leaves usable data.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Protocol, Union
+
+__all__ = ["Sink", "InMemorySink", "JsonLinesSink"]
+
+
+class Sink(Protocol):
+    """Anything that can consume metric records."""
+
+    def emit(self, record: Dict) -> None:
+        ...
+
+
+class InMemorySink:
+    """Collects every record in memory."""
+
+    def __init__(self) -> None:
+        self.records: List[Dict] = []
+
+    def emit(self, record: Dict) -> None:
+        self.records.append(record)
+
+    def of_type(self, record_type: str) -> List[Dict]:
+        """Records whose ``"type"`` field equals ``record_type``."""
+        return [r for r in self.records if r.get("type") == record_type]
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def close(self) -> None:
+        pass
+
+
+def _json_default(value):
+    """Last-resort serialisation for non-JSON values (inf, numpy, ...)."""
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+class JsonLinesSink:
+    """Appends records to a file, one JSON object per line."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh: Optional[object] = self.path.open("a", encoding="utf-8")
+        self.records_written = 0
+
+    def emit(self, record: Dict) -> None:
+        if self._fh is None:
+            raise ValueError(f"sink for {self.path} is closed")
+        json.dump(record, self._fh, default=_json_default)
+        self._fh.write("\n")
+        self._fh.flush()
+        self.records_written += 1
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "JsonLinesSink":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

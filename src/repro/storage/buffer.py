@@ -28,6 +28,11 @@ class BufferPool:
             raise ValueError("buffer capacity must be non-negative")
         self._capacity = capacity
         self._lru: "OrderedDict[Hashable, None]" = OrderedDict()
+        #: Lifetime counters, sampled as per-query deltas by the
+        #: metrics layer (plain ints keep the hot path allocation-free).
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
 
     @property
     def capacity(self) -> int:
@@ -47,13 +52,17 @@ class BufferPool:
         hits (every access is a physical read).
         """
         if self._capacity == 0:
+            self.misses += 1
             return False
         if key in self._lru:
             self._lru.move_to_end(key)
+            self.hits += 1
             return True
+        self.misses += 1
         self._lru[key] = None
         if len(self._lru) > self._capacity:
             self._lru.popitem(last=False)
+            self.evictions += 1
         return False
 
     def evict_file(self, file_name: str) -> None:
@@ -68,6 +77,11 @@ class BufferPool:
         self._capacity = capacity
         while len(self._lru) > self._capacity:
             self._lru.popitem(last=False)
+            self.evictions += 1
 
     def clear(self) -> None:
+        """Drop every page; lifetime hit/miss/eviction counters remain."""
         self._lru.clear()
+
+    def counters_snapshot(self) -> Tuple[int, int, int]:
+        return (self.hits, self.misses, self.evictions)

@@ -6,15 +6,23 @@ accesses (physical page reads) and average number of candidate objects.
 A configurable per-I/O latency converts page counts into a simulated
 response-time component, so the reported times reflect a disk-resident
 deployment rather than this in-memory simulation alone (DESIGN.md §2).
+
+Beyond the paper's averages, a report keeps every per-query response
+time (for p50/p95/p99 tail latency) and the per-stage time breakdown
+(INE expansion, signature verification, pairwise Dijkstras,
+greedy/core-pair maintenance, simulated buffer I/O) recorded by the
+query path, plus distance-cache hit/miss deltas — the numbers that
+make warm-cache serving with a shared
+:class:`~repro.network.distance.DistanceCache` observable.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Sequence
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
 
 from ..core.database import Database
-from ..core.queries import DiversifiedSKQuery, SKQuery
+from ..core.queries import DiversifiedSKQuery, QueryStats, SKQuery
 from ..index.base import ObjectIndex
 
 __all__ = ["WorkloadReport", "run_sk_workload", "run_diversified_workload"]
@@ -39,6 +47,38 @@ class WorkloadReport:
     total_false_hit_objects: int = 0
     total_results: int = 0
     io_latency: float = DEFAULT_IO_LATENCY
+    #: Per-query response times (wall + simulated I/O), for percentiles.
+    latencies: List[float] = field(default_factory=list)
+    #: Summed per-stage seconds across every query.
+    stage_totals: Dict[str, float] = field(default_factory=dict)
+    total_pairwise_dijkstras: int = 0
+    total_distance_cache_hits: int = 0
+    total_distance_cache_misses: int = 0
+    total_distance_cache_evictions: int = 0
+    total_buffer_evictions: int = 0
+
+    def record(self, stats: QueryStats, num_results: int) -> None:
+        """Absorb one query's stats into the aggregate."""
+        simulated_io = stats.physical_reads * self.io_latency
+        self.num_queries += 1
+        self.total_wall_seconds += stats.wall_seconds
+        self.total_physical_reads += stats.physical_reads
+        self.total_candidates += stats.candidates
+        self.total_objects_loaded += stats.objects_loaded
+        self.total_false_hit_objects += stats.false_hit_objects
+        self.total_results += num_results
+        self.latencies.append(stats.wall_seconds + simulated_io)
+        for stage, seconds in stats.stage_seconds.items():
+            self.stage_totals[stage] = self.stage_totals.get(stage, 0.0) + seconds
+        if simulated_io:
+            self.stage_totals["io_simulated"] = (
+                self.stage_totals.get("io_simulated", 0.0) + simulated_io
+            )
+        self.total_pairwise_dijkstras += stats.pairwise_dijkstras
+        self.total_distance_cache_hits += stats.distance_cache_hits
+        self.total_distance_cache_misses += stats.distance_cache_misses
+        self.total_distance_cache_evictions += stats.distance_cache_evictions
+        self.total_buffer_evictions += stats.buffer_evictions
 
     @property
     def avg_response_time(self) -> float:
@@ -62,15 +102,85 @@ class WorkloadReport:
             self.total_false_hit_objects / self.num_queries if self.num_queries else 0.0
         )
 
-    def row(self) -> dict:
-        """A flat dict for tabular reporting."""
+    @property
+    def avg_pairwise_dijkstras(self) -> float:
+        return (
+            self.total_pairwise_dijkstras / self.num_queries
+            if self.num_queries else 0.0
+        )
+
+    @property
+    def distance_cache_hit_rate(self) -> float:
+        """Hit fraction of the pairwise distance-cache lookups."""
+        lookups = self.total_distance_cache_hits + self.total_distance_cache_misses
+        return self.total_distance_cache_hits / lookups if lookups else 0.0
+
+    def percentile(self, p: float) -> float:
+        """The ``p``-th percentile (0..100) of per-query response time."""
+        if not self.latencies:
+            return 0.0
+        ordered = sorted(self.latencies)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (p / 100.0) * (len(ordered) - 1)
+        lo = int(rank)
+        hi = min(lo + 1, len(ordered) - 1)
+        frac = rank - lo
+        return ordered[lo] * (1.0 - frac) + ordered[hi] * frac
+
+    def stage_breakdown_ms(self) -> Dict[str, float]:
+        """Average per-query milliseconds per stage, largest first."""
+        if not self.num_queries:
+            return {}
         return {
+            stage: round(total * 1e3 / self.num_queries, 3)
+            for stage, total in sorted(
+                self.stage_totals.items(), key=lambda kv: -kv[1]
+            )
+        }
+
+    def row(self) -> dict:
+        """A flat dict for tabular reporting.
+
+        Includes the paper's averages, tail latency percentiles and one
+        ``<stage>_ms`` column per recorded stage (average per query).
+        """
+        row = {
             "label": self.label,
             "queries": self.num_queries,
             "avg_time_ms": round(self.avg_response_time * 1e3, 3),
+            "p50_ms": round(self.percentile(50) * 1e3, 3),
+            "p95_ms": round(self.percentile(95) * 1e3, 3),
+            "p99_ms": round(self.percentile(99) * 1e3, 3),
             "avg_io": round(self.avg_io, 1),
             "avg_candidates": round(self.avg_candidates, 1),
             "avg_false_hit_objects": round(self.avg_false_hit_objects, 1),
+        }
+        if (
+            self.total_pairwise_dijkstras
+            or self.total_distance_cache_hits
+            or self.total_distance_cache_misses
+        ):
+            row["avg_dijkstras"] = round(self.avg_pairwise_dijkstras, 1)
+            row["cache_hit_pct"] = round(100.0 * self.distance_cache_hit_rate, 1)
+        for stage, ms in self.stage_breakdown_ms().items():
+            row[f"{stage}_ms"] = ms
+        return row
+
+    def summary_record(self) -> dict:
+        """A JSON-able workload summary for metric sinks."""
+        return {
+            "type": "workload",
+            "label": self.label,
+            "row": self.row(),
+            "stage_totals_seconds": dict(self.stage_totals),
+            "distance_cache": {
+                "hits": self.total_distance_cache_hits,
+                "misses": self.total_distance_cache_misses,
+                "evictions": self.total_distance_cache_evictions,
+            },
+            "buffer_evictions": self.total_buffer_evictions,
+            "pairwise_dijkstras": self.total_pairwise_dijkstras,
         }
 
 
@@ -88,13 +198,8 @@ def run_sk_workload(
         if cold_buffer:
             db.disk.clear_buffer()
         result = db.sk_search(index, query)
-        report.num_queries += 1
-        report.total_wall_seconds += result.stats.wall_seconds
-        report.total_physical_reads += result.stats.physical_reads
-        report.total_candidates += result.stats.candidates
-        report.total_objects_loaded += result.stats.objects_loaded
-        report.total_false_hit_objects += result.stats.false_hit_objects
-        report.total_results += len(result)
+        report.record(result.stats, len(result))
+    db.metrics.emit(report.summary_record())
     return report
 
 
@@ -108,7 +213,14 @@ def run_diversified_workload(
     cold_buffer: bool = False,
     enable_pruning: bool = True,
 ) -> WorkloadReport:
-    """Execute diversified queries via SEQ or COM and aggregate metrics."""
+    """Execute diversified queries via SEQ or COM and aggregate metrics.
+
+    Install a shared cache first
+    (``db.use_shared_distance_cache(...)``) to serve the workload
+    warm: pairwise node maps then persist across queries and the
+    report's ``cache_hit_pct`` / ``avg_dijkstras`` columns show the
+    saving.
+    """
     report = WorkloadReport(
         label=label or f"{method.upper()}/{index.name}", io_latency=io_latency
     )
@@ -118,11 +230,6 @@ def run_diversified_workload(
         result = db.diversified_search(
             index, query, method=method, enable_pruning=enable_pruning
         )
-        report.num_queries += 1
-        report.total_wall_seconds += result.stats.wall_seconds
-        report.total_physical_reads += result.stats.physical_reads
-        report.total_candidates += result.stats.candidates
-        report.total_objects_loaded += result.stats.objects_loaded
-        report.total_false_hit_objects += result.stats.false_hit_objects
-        report.total_results += len(result)
+        report.record(result.stats, len(result))
+    db.metrics.emit(report.summary_record())
     return report

@@ -1,8 +1,6 @@
 """Tests for the INE expansion (Algorithm 3) against brute force."""
 
-import math
 
-import numpy as np
 import pytest
 
 from repro.core.ine import INEExpansion

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.knn import SKkNNQuery, knn_search
+from repro.core.knn import SKkNNQuery
 from repro.errors import QueryError
 from repro.network.distance import network_distance
 

@@ -1,7 +1,7 @@
 """Tests for the diversification objective and its pruning bounds."""
 
 import pytest
-from hypothesis import given, settings
+from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.core.objective import DiversificationObjective

@@ -1,0 +1,88 @@
+"""Per-query delta accounting and warm-cache workload savings."""
+
+import pytest
+
+from repro.core.diversified_search import seq_search
+from repro.network.distance import PairwiseDistanceComputer
+from repro.workloads.queries import WorkloadConfig, generate_diversified_queries
+from repro.workloads.runner import run_diversified_workload
+
+
+@pytest.fixture(scope="module")
+def sif(tiny_db):
+    return tiny_db.build_index("sif", file_prefix="cache-sif")
+
+
+@pytest.fixture(scope="module")
+def queries(tiny_db):
+    return generate_diversified_queries(
+        tiny_db, WorkloadConfig(num_queries=6, num_keywords=2, k=5, seed=33)
+    )
+
+
+class TestDeltaAccounting:
+    """Regression for the stale-accounting bug: with a shared
+    ``pairwise=`` computer, per-query stats must be deltas of the
+    computer's lifetime counters, not the lifetime totals."""
+
+    def test_shared_computer_reports_per_query_deltas(
+        self, tiny_db, sif, queries
+    ):
+        q1, q2 = queries[0], queries[1]
+        cutoff = 2.0 * max(q1.delta_max, q2.delta_max) * 1.001
+        comp = PairwiseDistanceComputer(
+            tiny_db.ccam, tiny_db.network, cutoff=cutoff
+        )
+        r1 = seq_search(tiny_db.ccam, tiny_db.network, sif, q1, pairwise=comp)
+        runs_after_first = comp.dijkstra_runs
+        r2 = seq_search(tiny_db.ccam, tiny_db.network, sif, q2, pairwise=comp)
+
+        assert r1.stats.pairwise_dijkstras == runs_after_first
+        assert r2.stats.pairwise_dijkstras == (
+            comp.dijkstra_runs - runs_after_first
+        )
+        assert r1.stats.pairwise_dijkstras > 0
+        # The historic bug: query 2 reported the lifetime total.
+        assert r2.stats.pairwise_dijkstras < comp.dijkstra_runs
+
+        hits, misses, _ = comp.cache.counters_snapshot()
+        assert r1.stats.distance_cache_hits + r2.stats.distance_cache_hits == hits
+        assert (
+            r1.stats.distance_cache_misses + r2.stats.distance_cache_misses
+            == misses
+        )
+
+
+class TestSharedCacheWorkload:
+    """Acceptance: a diversified workload served through a shared
+    bounded cache performs measurably fewer Dijkstra runs, visible in
+    the report's cache-hit metrics."""
+
+    def test_warm_cache_reduces_dijkstra_runs(self, tiny_db, sif, queries):
+        baseline = run_diversified_workload(
+            tiny_db, sif, queries, method="seq", label="cold"
+        )
+        assert baseline.total_pairwise_dijkstras > 0
+        try:
+            cache = tiny_db.use_shared_distance_cache(max_entries=500_000)
+            warmup = run_diversified_workload(
+                tiny_db, sif, queries, method="seq", label="warmup"
+            )
+            warm = run_diversified_workload(
+                tiny_db, sif, queries, method="seq", label="warm"
+            )
+        finally:
+            tiny_db.distance_cache = None
+
+        # Cross-query reuse never costs extra Dijkstras...
+        assert warmup.total_pairwise_dijkstras <= baseline.total_pairwise_dijkstras
+        # ...and rerunning the workload against warm maps saves real work.
+        assert warm.total_pairwise_dijkstras < baseline.total_pairwise_dijkstras
+        assert warm.total_distance_cache_hits > 0
+        assert warm.distance_cache_hit_rate > baseline.distance_cache_hit_rate
+        assert cache.entries <= 500_000
+        # Warm answers are the same answers.
+        assert warm.total_results == baseline.total_results
+        assert warm.total_candidates == baseline.total_candidates
+        row = warm.row()
+        assert "avg_dijkstras" in row and "cache_hit_pct" in row

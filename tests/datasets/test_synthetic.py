@@ -1,6 +1,5 @@
 """Tests for the synthetic road-network generators."""
 
-import numpy as np
 import pytest
 
 from repro.datasets.synthetic import grid_network, random_planar_network

@@ -18,7 +18,6 @@ from repro.core.knn import SKkNNQuery, knn_search
 from repro.datasets.generator import populate_objects
 from repro.datasets.synthetic import random_planar_network
 from repro.network.distance import network_distance
-from repro.network.graph import NetworkPosition
 
 
 def build_world(seed):

@@ -6,7 +6,6 @@ from repro.datasets.synthetic import grid_network
 from repro.errors import GraphError
 from repro.network.ccam import CCAMStore
 from repro.network.distance import single_source_distances
-from repro.network.graph import NetworkPosition
 from repro.storage.pagefile import DiskManager
 
 

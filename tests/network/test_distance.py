@@ -93,6 +93,33 @@ class TestPointToPoint:
         b = NetworkPosition(3, 90.0)
         assert network_distance(line_network, line_network, a, b, cutoff=100) == math.inf
 
+    def test_seed_endpoint_beyond_cutoff(self, paper_network):
+        """Regression: a seed end-node farther than the cutoff must be
+        filtered, exactly as ``single_source_distances`` does."""
+        edge12 = paper_network.edge_between(1, 2)
+        a = NetworkPosition(edge12.edge_id, 11.0)  # n1 at 11, n2 at 1
+        cutoff = 10.0
+        dist = single_source_distances(
+            paper_network, paper_network, a, cutoff=cutoff
+        )
+        assert 1 not in dist  # the far seed endpoint is beyond the cutoff
+        assert dist[2] == pytest.approx(1.0)
+        # Targets reachable through the near endpoint keep their exact
+        # distance, and both code paths agree.
+        edge25 = paper_network.edge_between(2, 5)
+        b = NetworkPosition(edge25.edge_id, 4.0)
+        d = network_distance(paper_network, paper_network, a, b, cutoff=cutoff)
+        assert d == pytest.approx(5.0)  # a -> n2 (1) -> 4 into edge (2,5)
+        assert d == pytest.approx(
+            position_distance_from_node_map(paper_network, dist, b, source=a)
+        )
+        # Targets only reachable through the far seed endpoint are out.
+        edge01 = paper_network.edge_between(0, 1)
+        c = NetworkPosition(edge01.edge_id, 5.0)
+        assert network_distance(
+            paper_network, paper_network, a, c, cutoff=cutoff
+        ) == math.inf
+
     def test_hand_checked_paper_network(self, paper_network):
         # q at node 1 (offset 10 on edge 0-1); object 3 into edge (4, 6).
         edge01 = paper_network.edge_between(0, 1)

@@ -2,7 +2,6 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.datasets.synthetic import random_planar_network

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.errors import DatasetError
-from repro.network.graph import NetworkPosition, RoadNetwork
+from repro.network.graph import NetworkPosition
 from repro.network.objects import ObjectStore, build_edge_rtree, snap_point_to_edge
 from repro.spatial.geometry import Point
 from repro.storage.pagefile import DiskManager

@@ -1,6 +1,5 @@
 """Tests for repro.spatial.geometry."""
 
-import math
 
 import pytest
 from hypothesis import given

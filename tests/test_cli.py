@@ -51,6 +51,30 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "SEQ" in out and "COM" in out
 
+    def test_metrics_file(self, tmp_path, capsys):
+        path = tmp_path / "metrics.jsonl"
+        assert main([
+            "diversify", "SYN", "--scale", "0.05", "--queries", "2",
+            "--keywords", "2", "--k", "4",
+            "--metrics", str(path), "--distance-cache", "100000",
+        ]) == 0
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        types = [r["type"] for r in records]
+        assert "query" in types
+        assert "workload" in types
+        assert types[-1] == "snapshot"
+        query_records = [r for r in records if r["type"] == "query"]
+        assert len(query_records) == 4  # 2 queries x (SEQ, COM)
+        for record in query_records:
+            assert record["kind"].startswith("diversified/")
+            assert "stages" in record
+            assert "pairwise_dijkstras" in record
+            assert set(record["distance_cache"]) == {
+                "hits", "misses", "evictions",
+            }
+        err = capsys.readouterr().err
+        assert "Shared distance cache" in err
+
     def test_compare(self, capsys):
         assert main([
             "compare", "SYN", "--scale", "0.05", "--queries", "4",

@@ -25,10 +25,38 @@ class TestReport:
 
     def test_row_keys(self):
         row = WorkloadReport(label="SIF").row()
-        assert set(row) == {
+        assert {
             "label", "queries", "avg_time_ms", "avg_io",
             "avg_candidates", "avg_false_hit_objects",
+            "p50_ms", "p95_ms", "p99_ms",
+        } <= set(row)
+
+    def test_percentiles(self):
+        r = WorkloadReport(label="x")
+        r.latencies = [0.010 * (i + 1) for i in range(100)]  # 10ms..1000ms
+        assert r.percentile(50) == pytest.approx(0.505, rel=1e-6)
+        assert r.percentile(95) == pytest.approx(0.9505, rel=1e-6)
+        assert r.percentile(99) == pytest.approx(0.9901, rel=1e-6)
+        assert r.percentile(100) == pytest.approx(1.0)
+
+    def test_stage_breakdown_in_row(self, tiny_db, tiny_indexes):
+        queries = generate_diversified_queries(
+            tiny_db, WorkloadConfig(num_queries=3, num_keywords=2, k=4, seed=15)
+        )
+        report = run_diversified_workload(
+            tiny_db, tiny_indexes["sif"], queries, method="com"
+        )
+        row = report.row()
+        assert "expansion_ms" in row
+        assert "maintenance_ms" in row
+        assert "signature_ms" in row
+        # Measured stage times are sub-intervals of query wall time:
+        # their largest member can never exceed the total (io_simulated
+        # is synthetic latency, not wall time).
+        measured = {
+            k: v for k, v in report.stage_totals.items() if k != "io_simulated"
         }
+        assert max(measured.values()) <= report.total_wall_seconds * 1.05
 
 
 class TestRunners:
