@@ -18,8 +18,14 @@ from pathlib import Path
 
 from repro.bench.harness import BenchContext
 from repro.bench.reporting import format_table, save_csv, slugify
+from repro.bench.trajectory import TrajectoryWriter
 
 RESULTS_DIR = Path(__file__).parent / "results"
+
+#: Session-wide trajectory: every `show`-n table is recorded and the
+#: JSON artifact (BENCH_PR2.json, or $REPRO_BENCH_TRAJECTORY) written
+#: once at session end.
+_TRAJECTORY = TrajectoryWriter()
 
 
 @pytest.fixture(scope="session")
@@ -37,8 +43,15 @@ def show(capsys):
             print(format_table(rows, title))
         if title:
             save_csv(rows, RESULTS_DIR / f"{slugify(title)}.csv")
+            _TRAJECTORY.record(title, rows)
 
     return _show
+
+
+def pytest_sessionfinish(session, exitstatus):
+    path = _TRAJECTORY.write()
+    if path is not None:
+        print(f"\nBenchmark trajectory written to {path}")
 
 
 def run_once(benchmark, fn):

@@ -1,0 +1,115 @@
+"""Benchmark trajectory artifact: headline numbers as one JSON file.
+
+Every benchmark run prints per-figure tables and saves CSVs under
+``benchmarks/results/`` — good for eyeballing, awkward for diffing
+across PRs or attaching to CI.  :class:`TrajectoryWriter` collects the
+same rows the figures print and serialises them (plus run context:
+dataset scale, python version) into a single JSON document, by default
+``BENCH_PR2.json`` at the repository root.
+
+The benchmark conftest hooks this in transparently: every table that
+goes through the ``show`` fixture is recorded, and the file is written
+once at session end.  ``REPRO_BENCH_TRAJECTORY`` overrides the output
+path; setting it to ``0``/``off`` disables the artifact.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+from typing import Dict, Optional, Sequence, Union
+
+from .reporting import slugify
+
+__all__ = ["TrajectoryWriter", "default_trajectory_path"]
+
+#: Current artifact name; bumped per PR so stacked PRs keep their own
+#: benchmark baselines side by side.
+DEFAULT_FILENAME = "BENCH_PR2.json"
+
+_DISABLED = {"0", "off", "none", "false"}
+
+
+def default_trajectory_path() -> Optional[Path]:
+    """Resolve the output path (env override; ``None`` when disabled)."""
+    raw = os.environ.get("REPRO_BENCH_TRAJECTORY")
+    if raw is not None:
+        if raw.strip().lower() in _DISABLED:
+            return None
+        return Path(raw)
+    # Default: the repository root (two levels above src/repro/bench).
+    return Path(__file__).resolve().parents[3] / DEFAULT_FILENAME
+
+
+def _headline(rows: Sequence[Dict[str, object]]) -> Dict[str, object]:
+    """Compact per-figure summary: the mean of every numeric column.
+
+    The full rows are kept alongside; the headline is what a reviewer
+    (or a regression-tracking script) reads first.
+    """
+    sums: Dict[str, float] = {}
+    counts: Dict[str, int] = {}
+    for row in rows:
+        for key, value in row.items():
+            if isinstance(value, bool) or not isinstance(value, (int, float)):
+                continue
+            if value != value:  # NaN
+                continue
+            sums[key] = sums.get(key, 0.0) + float(value)
+            counts[key] = counts.get(key, 0) + 1
+    return {key: round(sums[key] / counts[key], 6) for key in sums}
+
+
+class TrajectoryWriter:
+    """Accumulates per-figure benchmark rows; writes one JSON artifact."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None) -> None:
+        self.path = Path(path) if path is not None else default_trajectory_path()
+        self._figures: Dict[str, Dict[str, object]] = {}
+
+    def __bool__(self) -> bool:
+        return self.path is not None
+
+    @property
+    def figures(self) -> Dict[str, Dict[str, object]]:
+        return dict(self._figures)
+
+    def record(
+        self, title: str, rows: Sequence[Dict[str, object]]
+    ) -> None:
+        """Record one figure's rows (later records replace earlier)."""
+        if self.path is None or not title:
+            return
+        self._figures[slugify(title)] = {
+            "title": title,
+            "headline": _headline(rows),
+            "rows": [dict(row) for row in rows],
+        }
+
+    def write(self) -> Optional[Path]:
+        """Serialise everything recorded; no-op when nothing was."""
+        if self.path is None or not self._figures:
+            return None
+        document = {
+            "schema": "repro-bench-trajectory/v1",
+            "artifact": self.path.name,
+            "generated_unix": round(time.time(), 3),
+            "python": platform.python_version(),
+            "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "1.0"),
+            "figures": self._figures,
+        }
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("w", encoding="utf-8") as fh:
+            json.dump(document, fh, indent=1, sort_keys=False)
+            fh.write("\n")
+        return self.path
+
+    def load(self) -> Optional[Dict[str, object]]:
+        """Read the artifact back (``None`` when absent/disabled)."""
+        if self.path is None or not self.path.exists():
+            return None
+        with self.path.open(encoding="utf-8") as fh:
+            return json.load(fh)

@@ -7,18 +7,25 @@ Commands
 ``sk``        run an SK workload against one index and print the report
 ``diversify`` run a diversified workload (SEQ and COM) and print both
 ``compare``   run one workload against every index kind (mini Fig. 6)
+``explain``   run ONE query under tracing and print its pruning report
 
 The workload commands accept ``--metrics <path>`` to stream one JSON
 record per query (latency, stage breakdown, cache/buffer deltas) plus
 workload summaries and a final registry snapshot to a JSON-lines file,
 and ``diversify`` accepts ``--distance-cache <entries>`` to serve the
 workload through a shared bounded distance cache.
+
+Observability exports: ``--trace <path>`` records per-query span trees
+for the whole run and writes Chrome trace-event JSON (load it at
+https://ui.perfetto.dev); ``--prom <path>`` writes a Prometheus text
+exposition of the final metrics registry.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from .bench.reporting import print_table
@@ -40,6 +47,20 @@ def _positive_int(text: str) -> int:
     if value <= 0:
         raise argparse.ArgumentTypeError("must be a positive integer")
     return value
+
+
+def _output_path(text: str) -> str:
+    """An output file path whose parent directory must already exist.
+
+    Validated at parse time so a typo in ``--trace``/``--prom``/
+    ``--metrics`` fails before minutes of workload run, not after.
+    """
+    parent = Path(text).expanduser().resolve().parent
+    if not parent.is_dir():
+        raise argparse.ArgumentTypeError(
+            f"directory {parent} does not exist (cannot write {text!r})"
+        )
+    return text
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,8 +86,18 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--delta-max", type=float, default=None)
         p.add_argument("--workload-seed", type=int, default=101)
         p.add_argument(
-            "--metrics", metavar="PATH", default=None,
+            "--metrics", metavar="PATH", default=None, type=_output_path,
             help="write per-query metric records (JSON lines) to PATH",
+        )
+        p.add_argument(
+            "--trace", metavar="PATH", default=None, type=_output_path,
+            help="trace every query and write Chrome trace-event JSON "
+                 "(Perfetto-loadable) to PATH",
+        )
+        p.add_argument(
+            "--prom", metavar="PATH", default=None, type=_output_path,
+            help="write a Prometheus text exposition of the final "
+                 "metrics registry to PATH",
         )
 
     p = sub.add_parser("info", help="dataset statistics")
@@ -96,6 +127,36 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("compare", help="one workload, every index kind")
     add_dataset_args(p)
     add_workload_args(p)
+
+    p = sub.add_parser(
+        "explain",
+        help="run one query under tracing and print its pruning report",
+    )
+    add_dataset_args(p)
+    p.add_argument("--index", choices=INDEX_KINDS, default="sif")
+    p.add_argument(
+        "--method", choices=("com", "seq", "sk"), default="com",
+        help="query form: diversified via COM or SEQ, or a plain SK "
+             "range query (default com)",
+    )
+    p.add_argument("--keywords", type=int, default=3, metavar="L")
+    p.add_argument("--delta-max", type=float, default=None)
+    p.add_argument("--workload-seed", type=int, default=101)
+    p.add_argument("--k", type=int, default=6)
+    p.add_argument("--lambda", dest="lambda_", type=float, default=0.8)
+    p.add_argument(
+        "--query", type=int, default=0, metavar="N",
+        help="explain the N-th query of the generated workload "
+             "(default 0)",
+    )
+    p.add_argument(
+        "--no-pruning", action="store_true",
+        help="disable the COM diversity bounds (ablation)",
+    )
+    p.add_argument(
+        "--trace", metavar="PATH", default=None, type=_output_path,
+        help="also write the span tree as Chrome trace-event JSON",
+    )
 
     return parser
 
@@ -130,16 +191,48 @@ def _attach_metrics_sink(db, args):
     return sink
 
 
-def _close_metrics_sink(db, sink) -> None:
+def _close_metrics_sink(db, sink, error: bool = False) -> None:
+    """Detach and close the sink; with ``error`` skip the snapshot.
+
+    Runs in a ``finally`` so a query raising mid-workload still leaves
+    a closed, flushed JSON-lines file behind.
+    """
     if sink is None:
         return
-    snapshot = db.metrics.snapshot()
-    snapshot["type"] = "snapshot"
-    db.metrics.emit(snapshot)
-    db.metrics.remove_sink(sink)
-    sink.close()
+    try:
+        if not error:
+            snapshot = db.metrics.snapshot()
+            snapshot["type"] = "snapshot"
+            db.metrics.emit(snapshot)
+    finally:
+        db.metrics.remove_sink(sink)
+        sink.close()
     print(f"Wrote {sink.records_written} metric records to {sink.path}",
           file=sys.stderr)
+
+
+def _enable_tracing(db, args) -> None:
+    """Switch tracing on when any trace export was requested."""
+    if getattr(args, "trace", None):
+        db.enable_tracing(max_traces=max(64, getattr(args, "queries", 64)))
+
+
+def _write_observability(db, args) -> None:
+    """Write the ``--trace`` / ``--prom`` artifacts after a workload."""
+    trace_path = getattr(args, "trace", None)
+    if trace_path:
+        from .obs.export import write_chrome_trace
+
+        write_chrome_trace(trace_path, db.tracer)
+        n = len(db.tracer.traces)
+        print(f"Wrote {n} query traces to {trace_path} "
+              "(load at https://ui.perfetto.dev)", file=sys.stderr)
+    prom_path = getattr(args, "prom", None)
+    if prom_path:
+        from .obs.export import write_prometheus
+
+        write_prometheus(prom_path, db.metrics)
+        print(f"Wrote Prometheus exposition to {prom_path}", file=sys.stderr)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -159,51 +252,100 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.command == "sk":
         db = _build_db(args)
         sink = _attach_metrics_sink(db, args)
-        index = db.build_index(args.index)
-        queries = generate_sk_queries(db, _config(args))
-        report = run_sk_workload(db, index, queries)
-        print_table([report.row()], f"SK workload on {args.profile}")
+        _enable_tracing(db, args)
+        try:
+            index = db.build_index(args.index)
+            queries = generate_sk_queries(db, _config(args))
+            report = run_sk_workload(db, index, queries)
+            print_table([report.row()], f"SK workload on {args.profile}")
+            _write_observability(db, args)
+        except BaseException:
+            _close_metrics_sink(db, sink, error=True)
+            raise
         _close_metrics_sink(db, sink)
         return 0
 
     if args.command == "diversify":
         db = _build_db(args)
         sink = _attach_metrics_sink(db, args)
-        if args.distance_cache is not None:
-            db.use_shared_distance_cache(max_entries=args.distance_cache)
-        index = db.build_index(args.index)
-        queries = generate_diversified_queries(
-            db, _config(args, k=args.k, lambda_=args.lambda_)
-        )
-        rows = []
-        for method in ("seq", "com"):
-            index.counters.reset()
-            rows.append(
-                run_diversified_workload(db, index, queries, method=method).row()
+        _enable_tracing(db, args)
+        try:
+            if args.distance_cache is not None:
+                db.use_shared_distance_cache(max_entries=args.distance_cache)
+            index = db.build_index(args.index)
+            queries = generate_diversified_queries(
+                db, _config(args, k=args.k, lambda_=args.lambda_)
             )
-        print_table(rows, f"Diversified workload on {args.profile} "
-                          f"(k={args.k}, lambda={args.lambda_})")
-        if db.distance_cache is not None:
-            print(f"Shared distance cache: {db.distance_cache.stats()}",
-                  file=sys.stderr)
+            rows = []
+            for method in ("seq", "com"):
+                index.counters.reset()
+                rows.append(
+                    run_diversified_workload(
+                        db, index, queries, method=method
+                    ).row()
+                )
+            print_table(rows, f"Diversified workload on {args.profile} "
+                              f"(k={args.k}, lambda={args.lambda_})")
+            if db.distance_cache is not None:
+                print(f"Shared distance cache: {db.distance_cache.stats()}",
+                      file=sys.stderr)
+            _write_observability(db, args)
+        except BaseException:
+            _close_metrics_sink(db, sink, error=True)
+            raise
         _close_metrics_sink(db, sink)
         return 0
 
     if args.command == "compare":
         db = _build_db(args)
         sink = _attach_metrics_sink(db, args)
-        queries = generate_sk_queries(db, _config(args))
-        rows = []
-        for kind in ("ir", "if", "sif", "sif-p"):
-            index = db.build_index(kind)
-            index.counters.reset()
-            report = run_sk_workload(db, index, queries)
-            row = report.row()
-            row["build_s"] = round(index.build_seconds, 2)
-            row["size_KiB"] = index.size_bytes() // 1024
-            rows.append(row)
-        print_table(rows, f"Index comparison on {args.profile}")
+        _enable_tracing(db, args)
+        try:
+            queries = generate_sk_queries(db, _config(args))
+            rows = []
+            for kind in ("ir", "if", "sif", "sif-p"):
+                index = db.build_index(kind)
+                index.counters.reset()
+                report = run_sk_workload(db, index, queries)
+                row = report.row()
+                row["build_s"] = round(index.build_seconds, 2)
+                row["size_KiB"] = index.size_bytes() // 1024
+                rows.append(row)
+            print_table(rows, f"Index comparison on {args.profile}")
+            _write_observability(db, args)
+        except BaseException:
+            _close_metrics_sink(db, sink, error=True)
+            raise
         _close_metrics_sink(db, sink)
+        return 0
+
+    if args.command == "explain":
+        db = _build_db(args)
+        index = db.build_index(args.index)
+        config = WorkloadConfig(
+            num_queries=args.query + 1,
+            num_keywords=args.keywords,
+            delta_max=args.delta_max,
+            k=args.k,
+            lambda_=args.lambda_,
+            seed=args.workload_seed,
+        )
+        if args.method == "sk":
+            query = generate_sk_queries(db, config)[args.query]
+        else:
+            query = generate_diversified_queries(db, config)[args.query]
+        report = db.explain(
+            index, query,
+            method=args.method if args.method != "sk" else "com",
+            enable_pruning=not args.no_pruning,
+        )
+        print(report.render())
+        if args.trace:
+            from .obs.export import write_chrome_trace
+
+            write_chrome_trace(args.trace, [report.trace])
+            print(f"Wrote the trace to {args.trace} "
+                  "(load at https://ui.perfetto.dev)", file=sys.stderr)
         return 0
 
     return 1  # pragma: no cover — argparse enforces the choices

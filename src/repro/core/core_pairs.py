@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from ..obs.tracing import NULL_TRACER
 from .diversify import greedy_diversify
 from .objective import DiversificationObjective
 from .queries import ResultItem
@@ -51,11 +52,16 @@ class CorePairMaintainer:
         objective: DiversificationObjective,
         pair_distance: PairDistance,
         pair_distance_upper_bound: Optional[PairDistance] = None,
+        tracer=NULL_TRACER,
     ) -> None:
         """``pair_distance_upper_bound`` optionally supplies a tighter
         upper bound on δ(a, b) than the triangle inequality through the
         query (e.g. landmark bounds); it must never under-estimate the
-        true distance or the pruning becomes unsound."""
+        true distance or the pruning becomes unsound.
+
+        ``tracer`` records a ``com.core_pair`` event on every CP
+        insertion, so a trace shows when (and at what θ) the result set
+        last changed."""
         if k < 2:
             raise ValueError("k must be at least 2")
         self._k = k
@@ -63,12 +69,18 @@ class CorePairMaintainer:
         self._objective = objective
         self._pair_distance = pair_distance
         self._pair_distance_ub = pair_distance_upper_bound
+        self._tracer = tracer
         self._pairs: List[CorePair] = []  # descending by theta
         #: every active (non-pruned) object seen so far, by id
         self._arrived: Dict[int, ResultItem] = {}
         #: object_id -> best θ against any other active object
         self._best_theta: Dict[int, float] = {}
         self.theta_evaluations = 0
+        #: How often each upper-bound source decided a θ bound: the
+        #: triangle inequality through the query vs an installed
+        #: landmark bound (ablation A4's mechanism, now observable).
+        self.ub_triangle_wins = 0
+        self.ub_landmark_wins = 0
 
     # ------------------------------------------------------------------
     # Introspection
@@ -137,7 +149,14 @@ class CorePairMaintainer:
         """
         ub = a.distance + b.distance
         if self._pair_distance_ub is not None:
-            ub = min(ub, self._pair_distance_ub(a, b))
+            lm = self._pair_distance_ub(a, b)
+            if lm < ub:
+                ub = lm
+                self.ub_landmark_wins += 1
+            else:
+                self.ub_triangle_wins += 1
+        else:
+            self.ub_triangle_wins += 1
         return self._objective.theta(a.distance, b.distance, ub)
 
     def bootstrap(self, items: List[ResultItem]) -> None:
@@ -282,6 +301,12 @@ class CorePairMaintainer:
     def _insert_pair(self, pair: CorePair) -> None:
         self._pairs.append(pair)
         self._pairs.sort(key=lambda p: -p.theta)
+        if self._tracer.enabled:
+            u, v = pair.members()
+            self._tracer.event(
+                "com.core_pair", theta=pair.theta, u=u, v=v,
+                theta_t=self.theta_t,
+            )
 
     def prune(self, object_id: int) -> None:
         """Remove a visited object from future computation (Alg. 6 L14)."""

@@ -25,6 +25,7 @@ from ..network.ccam import CCAMStore
 from ..network.distance import DistanceCache, PairwiseDistanceComputer
 from ..network.graph import NetworkPosition, RoadNetwork
 from ..obs.metrics import MetricsRegistry
+from ..obs.tracing import NULL_TRACER, Tracer
 from ..network.objects import ObjectStore, SpatioTextualObject, build_edge_rtree, snap_point_to_edge
 from ..spatial.geometry import Point
 from ..spatial.kdtree import KDTreePartition
@@ -41,6 +42,25 @@ __all__ = ["Database", "INDEX_KINDS"]
 INDEX_KINDS = ("ccam", "ir", "if", "sif", "sif-p", "sif-g")
 
 
+class _IndexCounterSnapshot:
+    """Pins an index's lifetime load counters at query start.
+
+    Queries report *deltas* against this snapshot, so indexes shared
+    across queries (the normal case) never leak earlier queries' loads
+    into this query's stats or trace."""
+
+    __slots__ = ("edges_probed", "edges_pruned", "objects_loaded",
+                 "false_hit_objects", "signature_seconds")
+
+    def __init__(self, index: ObjectIndex) -> None:
+        c = index.counters
+        self.edges_probed = c.edges_probed
+        self.edges_pruned = c.edges_pruned_by_signature
+        self.objects_loaded = c.objects_loaded
+        self.false_hit_objects = c.false_hit_objects
+        self.signature_seconds = c.signature_seconds
+
+
 class Database:
     """A spatio-textual road-network database instance."""
 
@@ -51,6 +71,7 @@ class Database:
         buffer_fraction: float = 0.02,
         curve: Optional[ZOrderCurve] = None,
         metrics: Optional[MetricsRegistry] = None,
+        tracer=None,
     ) -> None:
         """Create the disk-resident network structures.
 
@@ -64,10 +85,17 @@ class Database:
         database owns its own.  Every query records its latency,
         per-stage breakdown and counter deltas into it and emits one
         record per query to any attached sink.
+
+        ``tracer`` optionally injects a
+        :class:`~repro.obs.tracing.Tracer`; the default is the no-op
+        :data:`~repro.obs.tracing.NULL_TRACER` (tracing off, no
+        measurable overhead).  Use :meth:`enable_tracing` to switch it
+        on later.
         """
         self.network = network
         self.curve = curve or ZOrderCurve()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.tracer = tracer if tracer is not None else NULL_TRACER
         #: Optional distance cache shared across diversified queries
         #: (see :meth:`use_shared_distance_cache`).
         self.distance_cache: Optional[DistanceCache] = None
@@ -223,6 +251,92 @@ class Database:
         return self.distance_cache
 
     # ------------------------------------------------------------------
+    # Tracing
+    # ------------------------------------------------------------------
+    def enable_tracing(
+        self,
+        max_traces: int = 64,
+        max_children: int = 512,
+        max_events: int = 1024,
+    ) -> Tracer:
+        """Install a live :class:`~repro.obs.tracing.Tracer`.
+
+        Every subsequent query records a per-query span tree (INE
+        rounds, signature filtering, pairwise Dijkstras, COM rounds)
+        into ``db.tracer.traces``.  Returns the installed tracer.
+        """
+        self.tracer = Tracer(
+            max_traces=max_traces,
+            max_children=max_children,
+            max_events=max_events,
+        )
+        return self.tracer
+
+    def disable_tracing(self) -> None:
+        """Revert to the zero-overhead no-op tracer."""
+        self.tracer = NULL_TRACER
+
+    def explain(
+        self,
+        index: ObjectIndex,
+        query,
+        method: str = "com",
+        enable_pruning: bool = True,
+        landmarks=None,
+    ) -> "ExplainReport":
+        """Run one query under a temporary tracer and explain it.
+
+        ``query`` may be an :class:`~repro.core.queries.SKQuery` or a
+        :class:`~repro.core.queries.DiversifiedSKQuery` (routed through
+        ``method``).  The database's installed tracer is untouched; the
+        report wraps the query's span tree and result (see
+        :mod:`repro.obs.explain`).
+        """
+        from ..obs.explain import ExplainReport
+
+        previous = self.tracer
+        tracer = Tracer(max_traces=4)
+        self.tracer = tracer
+        try:
+            if isinstance(query, DiversifiedSKQuery):
+                result = self.diversified_search(
+                    index, query, method=method,
+                    enable_pruning=enable_pruning, landmarks=landmarks,
+                )
+            else:
+                result = self.sk_search(index, query)
+        finally:
+            self.tracer = previous
+            index.tracer = previous
+        return ExplainReport(tracer.last_trace, result)
+
+    def _trace_signature_summary(
+        self, index: ObjectIndex, before: "_IndexCounterSnapshot",
+        results: int,
+    ) -> None:
+        """Attach a per-query ``signature.filter`` summary span.
+
+        Records, as counter deltas, how many edges the signature test
+        dropped, how many candidate objects were loaded for
+        verification and how many of those were false positives —
+        split by index family via the ``partition`` attribute, which is
+        what makes the SIF vs SIF-P comparison visible per query.
+        """
+        c = index.counters
+        self.tracer.add_span(
+            "signature.filter",
+            c.signature_seconds - before.signature_seconds,
+            partition=index.name,
+            edges_pruned=(
+                c.edges_pruned_by_signature - before.edges_pruned
+            ),
+            edges_probed=c.edges_probed - before.edges_probed,
+            candidates_tested=c.objects_loaded - before.objects_loaded,
+            false_positives=c.false_hit_objects - before.false_hit_objects,
+            results=results,
+        )
+
+    # ------------------------------------------------------------------
     # Metrics recording
     # ------------------------------------------------------------------
     def _record_query(self, kind: str, label: str, stats: QueryStats) -> None:
@@ -268,34 +382,52 @@ class Database:
     def sk_search(self, index: ObjectIndex, query: SKQuery) -> SKResult:
         """Algorithm 3: boolean SK range search on the road network."""
         self._ensure_frozen()
+        tracer = self.tracer
+        index.tracer = tracer
         before = self.disk.stats.snapshot()
         evictions_before = self.disk.buffer.evictions
-        counters_before = (
-            index.counters.objects_loaded,
-            index.counters.false_hit_objects,
-            index.counters.signature_seconds,
-        )
+        counters_before = _IndexCounterSnapshot(index)
         start = time.perf_counter()
-        expansion = INEExpansion(
-            self.ccam, self.network, index, query.position, query.terms,
-            query.delta_max,
-        )
-        items = expansion.run_to_completion()
-        wall = time.perf_counter() - start
+        with tracer.span(
+            "query.sk", index=index.name, terms=sorted(query.terms),
+            delta_max=query.delta_max,
+        ) as root:
+            expansion = INEExpansion(
+                self.ccam, self.network, index, query.position, query.terms,
+                query.delta_max, tracer=tracer,
+            )
+            items = expansion.run_to_completion()
+            wall = time.perf_counter() - start
+            if tracer.enabled:
+                self._trace_signature_summary(index, counters_before, len(items))
+                root.set(
+                    candidates=len(items), results=len(items),
+                    nodes_accessed=expansion.stats.nodes_accessed,
+                    edges_accessed=expansion.stats.edges_accessed,
+                    wall_seconds=wall,
+                )
         after = self.disk.stats.snapshot()
         stats = QueryStats(
             wall_seconds=wall,
             nodes_accessed=expansion.stats.nodes_accessed,
             edges_accessed=expansion.stats.edges_accessed,
-            objects_loaded=index.counters.objects_loaded - counters_before[0],
-            false_hit_objects=index.counters.false_hit_objects - counters_before[1],
+            objects_loaded=(
+                index.counters.objects_loaded - counters_before.objects_loaded
+            ),
+            false_hit_objects=(
+                index.counters.false_hit_objects
+                - counters_before.false_hit_objects
+            ),
             candidates=len(items),
             io=after - before,
             buffer_evictions=self.disk.buffer.evictions - evictions_before,
             stage_seconds={
                 "expansion": wall,
                 "object_loading": expansion.stats.load_seconds,
-                "signature": index.counters.signature_seconds - counters_before[2],
+                "signature": (
+                    index.counters.signature_seconds
+                    - counters_before.signature_seconds
+                ),
             },
         )
         self._record_query("sk", index.name, stats)
@@ -306,8 +438,18 @@ class Database:
         from .knn import knn_search
 
         self._ensure_frozen()
+        tracer = self.tracer
+        index.tracer = tracer
         before = self.disk.stats.snapshot()
-        result = knn_search(self.ccam, self.network, index, query)
+        with tracer.span(
+            "query.knn", index=index.name, terms=sorted(query.terms),
+            k=query.k,
+        ) as root:
+            result = knn_search(
+                self.ccam, self.network, index, query, tracer=tracer
+            )
+            if tracer.enabled:
+                root.set(results=len(result))
         result.stats.io = self.disk.stats.snapshot() - before
         return result
 
@@ -332,46 +474,64 @@ class Database:
         method = method.lower()
         if method not in ("seq", "com"):
             raise QueryError("method must be 'seq' or 'com'")
+        tracer = self.tracer
+        index.tracer = tracer
         before = self.disk.stats.snapshot()
         evictions_before = self.disk.buffer.evictions
-        counters_before = (
-            index.counters.objects_loaded,
-            index.counters.false_hit_objects,
-            index.counters.signature_seconds,
-        )
+        counters_before = _IndexCounterSnapshot(index)
         pairwise = PairwiseDistanceComputer(
             self.ccam,
             self.network,
             cutoff=2.0 * query.delta_max * 1.001,
             cache=self.distance_cache,
+            tracer=tracer,
         )
-        if method == "seq":
-            result = seq_search(
-                self.ccam, self.network, index, query, pairwise=pairwise
-            )
-        else:
-            result = com_search(
-                self.ccam,
-                self.network,
-                index,
-                query,
-                pairwise=pairwise,
-                enable_pruning=enable_pruning,
-                landmarks=landmarks,
-            )
+        with tracer.span(
+            "query.diversified", method=method.upper(), index=index.name,
+            terms=sorted(query.terms), delta_max=query.delta_max,
+            k=query.k, lambda_=query.lambda_,
+        ) as root:
+            if method == "seq":
+                result = seq_search(
+                    self.ccam, self.network, index, query, pairwise=pairwise,
+                    tracer=tracer,
+                )
+            else:
+                result = com_search(
+                    self.ccam,
+                    self.network,
+                    index,
+                    query,
+                    pairwise=pairwise,
+                    enable_pruning=enable_pruning,
+                    landmarks=landmarks,
+                    tracer=tracer,
+                )
+            if tracer.enabled:
+                self._trace_signature_summary(
+                    index, counters_before, len(result)
+                )
+                root.set(
+                    candidates=result.stats.candidates, results=len(result),
+                    objective_value=result.objective_value,
+                    wall_seconds=result.stats.wall_seconds,
+                    pairwise_dijkstras=result.stats.pairwise_dijkstras,
+                    distance_cache_hits=result.stats.distance_cache_hits,
+                    terminated_early=result.stats.expansion_terminated_early,
+                )
         after = self.disk.stats.snapshot()
         result.stats.io = after - before
         result.stats.objects_loaded = (
-            index.counters.objects_loaded - counters_before[0]
+            index.counters.objects_loaded - counters_before.objects_loaded
         )
         result.stats.false_hit_objects = (
-            index.counters.false_hit_objects - counters_before[1]
+            index.counters.false_hit_objects - counters_before.false_hit_objects
         )
         result.stats.buffer_evictions = (
             self.disk.buffer.evictions - evictions_before
         )
         result.stats.stage_seconds["signature"] = (
-            index.counters.signature_seconds - counters_before[2]
+            index.counters.signature_seconds - counters_before.signature_seconds
         )
         self._record_query(f"diversified/{method}", index.name, result.stats)
         return result

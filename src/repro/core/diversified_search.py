@@ -31,6 +31,7 @@ from ..index.base import ObjectIndex
 from ..network.distance import AdjacencyProvider, PairwiseDistanceComputer
 from ..network.graph import RoadNetwork
 from ..obs.metrics import StageClock
+from ..obs.tracing import NULL_TRACER
 from .core_pairs import CorePairMaintainer
 from .diversify import greedy_diversify
 from .ine import INEExpansion
@@ -104,12 +105,14 @@ def seq_search(
     index: ObjectIndex,
     query: DiversifiedSKQuery,
     pairwise: Optional[PairwiseDistanceComputer] = None,
+    tracer=NULL_TRACER,
 ) -> DiversifiedResult:
     """The straightforward SEQ implementation (paper §4.1)."""
     start = time.perf_counter()
     clock = StageClock()
     expansion = INEExpansion(
-        provider, network, index, query.position, query.terms, query.delta_max
+        provider, network, index, query.position, query.terms,
+        query.delta_max, tracer=tracer,
     )
     objective = DiversificationObjective(query.lambda_, query.delta_max)
     computer = pairwise or PairwiseDistanceComputer(
@@ -119,9 +122,15 @@ def seq_search(
 
     with clock.stage("expansion"):
         candidates = expansion.run_to_completion()
+    greedy_t0 = time.perf_counter()
     with clock.stage("greedy"):
         chosen = greedy_diversify(
             candidates, query.k, objective, _make_pair_distance(computer)
+        )
+    if tracer.enabled:
+        tracer.add_span(
+            "greedy.select", time.perf_counter() - greedy_t0,
+            start=greedy_t0, candidates=len(candidates), k=query.k,
         )
 
     stats = QueryStats(
@@ -147,6 +156,7 @@ def com_search(
     pairwise: Optional[PairwiseDistanceComputer] = None,
     enable_pruning: bool = True,
     landmarks=None,
+    tracer=NULL_TRACER,
 ) -> DiversifiedResult:
     """Algorithm 6: incremental diversified SK search.
 
@@ -158,11 +168,17 @@ def com_search(
     :class:`repro.network.landmarks.LandmarkIndex`; its exact distance
     upper bounds tighten the θ-skip and avoid further pairwise
     Dijkstras without changing any answer (ablation A4).
+
+    When ``tracer`` is enabled, every arrival that reaches the pruning
+    decision records a ``com.round`` span (γ, θ_T, the unvisited-pair
+    upper bound, and the action taken), and early termination raises a
+    ``com.early_termination`` event on the enclosing query span.
     """
     start = time.perf_counter()
     clock = StageClock()
     expansion = INEExpansion(
-        provider, network, index, query.position, query.terms, query.delta_max
+        provider, network, index, query.position, query.terms,
+        query.delta_max, tracer=tracer,
     )
     objective = DiversificationObjective(query.lambda_, query.delta_max)
     computer = pairwise or PairwiseDistanceComputer(
@@ -178,7 +194,9 @@ def com_search(
         objective,
         _make_pair_distance(computer),
         pair_distance_upper_bound=pair_ub,
+        tracer=tracer,
     )
+    tracing = tracer.enabled
 
     stream = clock.timed_iter(expansion.run(), "expansion")
     first = list(islice(stream, query.k))
@@ -186,24 +204,39 @@ def com_search(
         maintainer.bootstrap(first)
     candidates = len(first)
     terminated_early = False
+    pruned_total = 0
+
+    def finish_round(t_item: float, action: str, **attrs) -> None:
+        clock.add("maintenance", time.perf_counter() - t_item)
+        if tracing:
+            tracer.add_span(
+                "com.round", time.perf_counter() - t_item, start=t_item,
+                candidate=candidates, action=action,
+                theta_t=maintainer.theta_t, **attrs,
+            )
 
     for item in stream:
         candidates += 1
         t_item = time.perf_counter()
         maintainer.add(item)
+        gamma = item.distance  # objects arrive in distance order
         if not enable_pruning:
-            clock.add("maintenance", time.perf_counter() - t_item)
+            finish_round(t_item, "no_pruning", gamma=gamma)
             continue
         theta_t = maintainer.theta_t
         if theta_t == float("-inf"):
-            clock.add("maintenance", time.perf_counter() - t_item)
+            finish_round(t_item, "cp_not_full", gamma=gamma)
             continue
-        gamma = item.distance  # objects arrive in distance order
         # Bound for any pair of two unvisited objects (Alg. 6 lines 4-7).
-        if objective.theta_ub_unvisited(gamma) >= theta_t:
-            clock.add("maintenance", time.perf_counter() - t_item)
+        ub_unvisited = objective.theta_ub_unvisited(gamma)
+        if ub_unvisited >= theta_t:
+            finish_round(
+                t_item, "unvisited_pair_possible",
+                gamma=gamma, ub_unvisited=ub_unvisited,
+            )
             continue
         can_terminate = True
+        pruned_here = 0
         for o_i in maintainer.active_objects():
             oid = o_i.object.object_id
             if objective.theta_ub_visited(o_i.distance, gamma) >= theta_t:
@@ -214,13 +247,37 @@ def com_search(
             if maintainer.best_theta(oid) < theta_t and not maintainer.is_core(oid):
                 # o_i can pair with nothing: drop it (Alg. 6 lines 13-14).
                 maintainer.prune(oid)
-        clock.add("maintenance", time.perf_counter() - t_item)
+                pruned_here += 1
+        pruned_total += pruned_here
+        finish_round(
+            t_item,
+            "terminate" if can_terminate else "visited_pair_possible",
+            gamma=gamma, ub_unvisited=ub_unvisited, pruned=pruned_here,
+        )
         if can_terminate:
             stream.close()  # terminate the network expansion (line 16)
             terminated_early = True
+            if tracing:
+                tracer.event(
+                    "com.early_termination", gamma=gamma, theta_t=theta_t,
+                    gamma_fraction=(
+                        gamma / query.delta_max if query.delta_max > 0 else 0.0
+                    ),
+                    candidates=candidates,
+                )
             break
 
     chosen = maintainer.core_objects()[: query.k]
+    if tracing:
+        tracer.add_span(
+            "com.maintenance", clock.stages.get("maintenance", 0.0),
+            candidates=candidates,
+            theta_evaluations=maintainer.theta_evaluations,
+            ub_triangle_wins=maintainer.ub_triangle_wins,
+            ub_landmark_wins=maintainer.ub_landmark_wins,
+            pruned_objects=pruned_total,
+            terminated_early=terminated_early,
+        )
     stats = QueryStats(
         nodes_accessed=expansion.stats.nodes_accessed,
         edges_accessed=expansion.stats.edges_accessed,

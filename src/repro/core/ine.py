@@ -25,9 +25,16 @@ from ..index.base import ObjectIndex
 from ..network.distance import AdjacencyProvider, seed_distances
 from ..network.graph import NetworkPosition, RoadNetwork
 from ..network.objects import SpatioTextualObject
+from ..obs.tracing import NULL_TRACER
 from .queries import ResultItem
 
 __all__ = ["ExpansionStats", "INEExpansion"]
+
+#: Settled nodes per traced expansion round.  Tracing records one
+#: ``ine.round`` span (frontier size, distance watermark, objects
+#: emitted) per this many node settlements, so span count stays
+#: proportional to log-scale progress rather than node count.
+TRACE_ROUND_NODES = 32
 
 
 @dataclass
@@ -57,6 +64,11 @@ class INEExpansion:
         Object index implementing Algorithm 2 (``load_objects``).
     position, terms, delta_max:
         The SK query.
+    tracer:
+        Optional :class:`~repro.obs.tracing.Tracer`; when enabled the
+        expansion records one ``ine.round`` span per
+        ``TRACE_ROUND_NODES`` settled nodes under the caller's current
+        span, plus an ``ine.terminated`` event with the stop reason.
     """
 
     def __init__(
@@ -67,6 +79,7 @@ class INEExpansion:
         position: NetworkPosition,
         terms: FrozenSet[str],
         delta_max: float,
+        tracer=NULL_TRACER,
     ) -> None:
         self._provider = provider
         self._network = network
@@ -74,6 +87,7 @@ class INEExpansion:
         self._position = position
         self._terms = terms
         self._delta_max = delta_max
+        self._tracer = tracer
         self.stats = ExpansionStats()
 
     def _load_objects(
@@ -137,54 +151,114 @@ class INEExpansion:
         for node_id, dist in seed_distances(network, self._position).items():
             heapq.heappush(node_heap, (dist, node_id))
 
-        while node_heap:
-            d_n, node_id = heapq.heappop(node_heap)
-            if node_id in settled:
-                continue
-            # Every queued object with tentative distance <= d_n is
-            # final: any improvement would route through a node settled
-            # later, at distance >= d_n.
-            yield from emit_upto(d_n)
-            if d_n > delta_max:
-                # δ_T exceeded δmax: no unvisited node or object can
-                # qualify any more (paper's termination condition).
-                break
-            settled.add(node_id)
-            self.stats.nodes_accessed += 1
+        tracer = self._tracer
+        tracing = tracer.enabled
+        round_idx = 0
+        round_nodes = 0
+        round_edges = self.stats.edges_accessed
+        round_emitted = self.stats.objects_emitted
+        round_t0 = time.perf_counter() if tracing else 0.0
+        watermark = 0.0
 
-            for edge_id, other, weight in self._provider.neighbors(node_id):
-                if other not in settled:
-                    heapq.heappush(node_heap, (d_n + weight, other))
-                if edge_id == query_edge:
-                    continue  # pinned objects keep their along-edge distance
-                edge = network.edge(edge_id)
-                if edge_id not in visited_edges:
-                    visited_edges.add(edge_id)
-                    self.stats.edges_accessed += 1
-                    matches = self._load_objects(edge_id, self._terms)
-                    if matches:
-                        edge_objects[edge_id] = matches
-                    for obj in matches:
-                        offset = (
-                            obj.position.offset
-                            if node_id == edge.n1
-                            else edge.weight - obj.position.offset
-                        )
-                        queue_object(obj, d_n + offset)
-                else:
-                    # Second end-node settled: relax the edge's objects
-                    # (Algorithm 3 lines 18-22).
-                    for obj in edge_objects.get(edge_id, ()):
-                        if obj.object_id in pinned:
-                            continue
-                        offset = (
-                            obj.position.offset
-                            if node_id == edge.n1
-                            else edge.weight - obj.position.offset
-                        )
-                        queue_object(obj, d_n + offset)
+        def flush_round(frontier: int) -> None:
+            """Record the in-progress expansion round as a span."""
+            nonlocal round_idx, round_nodes, round_edges, round_emitted, round_t0
+            if round_nodes == 0:
+                return
+            tracer.add_span(
+                "ine.round",
+                time.perf_counter() - round_t0,
+                start=round_t0,
+                round=round_idx,
+                frontier=frontier,
+                watermark=watermark,
+                watermark_fraction=(
+                    watermark / delta_max if delta_max > 0 else 0.0
+                ),
+                nodes_settled=round_nodes,
+                edges_visited=self.stats.edges_accessed - round_edges,
+                objects_emitted=self.stats.objects_emitted - round_emitted,
+            )
+            round_idx += 1
+            round_nodes = 0
+            round_edges = self.stats.edges_accessed
+            round_emitted = self.stats.objects_emitted
+            round_t0 = time.perf_counter()
 
-        yield from emit_upto(float("inf"))
+        try:
+            while node_heap:
+                d_n, node_id = heapq.heappop(node_heap)
+                if node_id in settled:
+                    continue
+                # Every queued object with tentative distance <= d_n is
+                # final: any improvement would route through a node settled
+                # later, at distance >= d_n.
+                yield from emit_upto(d_n)
+                if d_n > delta_max:
+                    # δ_T exceeded δmax: no unvisited node or object can
+                    # qualify any more (paper's termination condition).
+                    if tracing:
+                        watermark = d_n
+                        tracer.event(
+                            "ine.terminated", reason="delta_max", watermark=d_n
+                        )
+                    break
+                settled.add(node_id)
+                self.stats.nodes_accessed += 1
+                if tracing:
+                    watermark = d_n
+                    round_nodes += 1
+                    if round_nodes >= TRACE_ROUND_NODES:
+                        flush_round(len(node_heap))
+
+                self._expand_node(
+                    node_id, d_n, settled, visited_edges, node_heap,
+                    edge_objects, pinned, queue_object,
+                )
+
+            yield from emit_upto(float("inf"))
+        finally:
+            if tracing:
+                flush_round(len(node_heap))
+
+    def _expand_node(
+        self, node_id, d_n, settled, visited_edges, node_heap,
+        edge_objects, pinned, queue_object,
+    ) -> None:
+        """Relax one settled node's incident edges (Alg. 3 lines 9-22)."""
+        network = self._network
+        query_edge = self._position.edge_id
+        for edge_id, other, weight in self._provider.neighbors(node_id):
+            if other not in settled:
+                heapq.heappush(node_heap, (d_n + weight, other))
+            if edge_id == query_edge:
+                continue  # pinned objects keep their along-edge distance
+            edge = network.edge(edge_id)
+            if edge_id not in visited_edges:
+                visited_edges.add(edge_id)
+                self.stats.edges_accessed += 1
+                matches = self._load_objects(edge_id, self._terms)
+                if matches:
+                    edge_objects[edge_id] = matches
+                for obj in matches:
+                    offset = (
+                        obj.position.offset
+                        if node_id == edge.n1
+                        else edge.weight - obj.position.offset
+                    )
+                    queue_object(obj, d_n + offset)
+            else:
+                # Second end-node settled: relax the edge's objects
+                # (Algorithm 3 lines 18-22).
+                for obj in edge_objects.get(edge_id, ()):
+                    if obj.object_id in pinned:
+                        continue
+                    offset = (
+                        obj.position.offset
+                        if node_id == edge.n1
+                        else edge.weight - obj.position.offset
+                    )
+                    queue_object(obj, d_n + offset)
 
     def run_to_completion(self) -> List[ResultItem]:
         """Materialise the whole stream (plain SK search)."""

@@ -14,6 +14,7 @@ given, keeping the expansion bounded on sparse results.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from itertools import islice
 from typing import FrozenSet, Iterable, List, Optional
@@ -22,6 +23,7 @@ from ..errors import QueryError
 from ..index.base import ObjectIndex
 from ..network.distance import AdjacencyProvider
 from ..network.graph import NetworkPosition, RoadNetwork
+from ..obs.tracing import NULL_TRACER
 from .ine import INEExpansion
 from .queries import QueryStats, ResultItem
 
@@ -87,6 +89,7 @@ def knn_search(
     network: RoadNetwork,
     index: ObjectIndex,
     query: SKkNNQuery,
+    tracer=NULL_TRACER,
 ) -> SKkNNResult:
     """kNN over the INE stream with adaptive radius doubling.
 
@@ -94,6 +97,7 @@ def knn_search(
     arrive the radius doubles (up to the horizon).  Rounds restart the
     expansion — acceptable because the buffer pool makes re-traversal
     of the inner region cheap, exactly the CCAM locality argument.
+    A traced run records one ``knn.round`` span per radius attempt.
     """
     radius = query.initial_radius
     if radius is None:
@@ -103,14 +107,24 @@ def knn_search(
     radius = min(radius, query.horizon)
 
     stats = QueryStats()
+    attempt = 0
     while True:
+        t0 = time.perf_counter()
         expansion = INEExpansion(
-            provider, network, index, query.position, query.terms, radius
+            provider, network, index, query.position, query.terms, radius,
+            tracer=tracer,
         )
         items = list(islice(expansion.run(), query.k))
         stats.nodes_accessed += expansion.stats.nodes_accessed
         stats.edges_accessed += expansion.stats.edges_accessed
+        if tracer.enabled:
+            tracer.add_span(
+                "knn.round", time.perf_counter() - t0, start=t0,
+                attempt=attempt, radius=radius, matches=len(items),
+                nodes_settled=expansion.stats.nodes_accessed,
+            )
         if len(items) >= query.k or radius >= query.horizon:
             stats.candidates = len(items)
             return SKkNNResult(items, stats)
         radius = min(radius * 2.0, query.horizon)
+        attempt += 1

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 from typing import FrozenSet, List, Sequence
 
 from ..network.objects import ObjectStore, SpatioTextualObject
+from ..obs.tracing import NULL_TRACER
 
 __all__ = ["LoadCounters", "ObjectIndex"]
 
@@ -61,6 +62,10 @@ class ObjectIndex(abc.ABC):
         self.counters = LoadCounters()
         #: Wall-clock seconds spent building the index.
         self.build_seconds: float = 0.0
+        #: Tracer for per-edge pruning events.  The owning database
+        #: re-points this at its own tracer at every query entry, so an
+        #: index follows whatever tracing state the database is in.
+        self.tracer = NULL_TRACER
 
     @property
     def store(self) -> ObjectStore:

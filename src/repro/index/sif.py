@@ -70,6 +70,10 @@ class SIFIndex(ObjectIndex):
         self.counters.signature_seconds += time.perf_counter() - start
         if not passed:
             self.counters.edges_pruned_by_signature += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "signature.prune", edge=edge_id, partition="SIF"
+                )
             return []
         return self._inverted.load_objects(edge_id, terms)
 

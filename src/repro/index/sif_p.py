@@ -226,8 +226,20 @@ class SIFPIndex(ObjectIndex):
         self.counters.signature_seconds += time.perf_counter() - sig_start
         if not passing:
             self.counters.edges_pruned_by_signature += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "signature.prune", edge=edge_id, partition="SIF-P",
+                    segments=len(segments),
+                )
             return []
         self.counters.edges_probed += 1
+        if self.tracer.enabled and len(passing) < len(segments):
+            # Partial prune: some virtual edges failed the signature
+            # test, so their postings are never read — the §3.3 win.
+            self.tracer.event(
+                "signature.partial_prune", edge=edge_id, partition="SIF-P",
+                segments=len(segments), passing=len(passing),
+            )
         key = edge_zorder_key(self._curve, self._network, edge_id)
 
         # One B+-tree descent per query keyword (as in SIF), then only

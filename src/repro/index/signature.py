@@ -77,6 +77,11 @@ class SignatureFile:
                 continue
             self._bits[term] = edges
         self._skipped = frozenset(skipped)
+        #: Lifetime counts of AND-semantics tests run and tests that
+        #: pruned their edge; sampled as deltas by the tracing layer's
+        #: per-query ``signature.filter`` summary.
+        self.tests_run = 0
+        self.tests_pruned = 0
 
     # ------------------------------------------------------------------
     @property
@@ -100,7 +105,11 @@ class SignatureFile:
 
     def test(self, edge_id: int, terms: Iterable[str]) -> bool:
         """AND-semantics signature test: ``False`` means *prune the edge*."""
-        return all(self.bit(edge_id, t) for t in terms)
+        self.tests_run += 1
+        passed = all(self.bit(edge_id, t) for t in terms)
+        if not passed:
+            self.tests_pruned += 1
+        return passed
 
     def edges_of(self, term: str) -> FrozenSet[str]:
         return frozenset(self._bits.get(term, frozenset()))

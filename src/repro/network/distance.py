@@ -16,6 +16,7 @@ import time
 from collections import OrderedDict
 from typing import Dict, Iterable, Optional, Protocol, Sequence, Tuple
 
+from ..obs.tracing import NULL_TRACER
 from .graph import NetworkPosition, RoadNetwork
 
 __all__ = [
@@ -265,11 +266,15 @@ class PairwiseDistanceComputer:
         network: RoadNetwork,
         cutoff: float = INF,
         cache: Optional[DistanceCache] = None,
+        tracer=NULL_TRACER,
     ) -> None:
         self._provider = provider
         self._network = network
         self._cutoff = cutoff
         self._cache = cache if cache is not None else DistanceCache()
+        #: Tracer for cache-hit events and per-Dijkstra spans; the
+        #: disabled NULL_TRACER costs one attribute read per distance.
+        self.tracer = tracer
         self.dijkstra_runs = 0
         self.dijkstra_seconds = 0.0
 
@@ -289,8 +294,15 @@ class PairwiseDistanceComputer:
         node_map = single_source_distances(
             self._provider, self._network, pos, cutoff=self._cutoff
         )
-        self.dijkstra_seconds += time.perf_counter() - start
+        elapsed = time.perf_counter() - start
+        self.dijkstra_seconds += elapsed
         self.dijkstra_runs += 1
+        if self.tracer.enabled:
+            self.tracer.add_span(
+                "pairwise.dijkstra", elapsed, start=start,
+                source_edge=pos.edge_id, map_nodes=len(node_map),
+                cutoff=self._cutoff,
+            )
         self._cache.put(self._key(pos), node_map)
         return node_map
 
@@ -300,6 +312,8 @@ class PairwiseDistanceComputer:
             return abs(a.offset - b.offset)
         key_a = self._key(a)
         found = self._cache.get(key_a, self._key(b))
+        if found is not None and self.tracer.enabled:
+            self.tracer.event("pairwise.cache_hit", source_edge=found[0][0])
         if found is None:
             node_map, source, target = self._run_dijkstra(a), a, b
         elif found[0] == key_a:

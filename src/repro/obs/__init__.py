@@ -7,10 +7,23 @@ wall time, per-stage breakdown (INE expansion, signature verification,
 pairwise Dijkstras, greedy/core-pair maintenance, simulated buffer
 I/O) and cache/buffer counter deltas into it, and emits one JSON-able
 record per query to any attached sink.
+
+The tracing layer (:mod:`repro.obs.tracing`) complements the flat
+metrics with per-query span trees; :mod:`repro.obs.explain` renders
+them as EXPLAIN reports and :mod:`repro.obs.export` serialises traces
+to Chrome trace-event JSON and registries to Prometheus text.
 """
 
+from .explain import ExplainReport, render_span_tree
+from .export import (
+    chrome_trace,
+    prometheus_text,
+    write_chrome_trace,
+    write_prometheus,
+)
 from .metrics import Counter, Histogram, MetricsRegistry, StageClock
 from .sinks import InMemorySink, JsonLinesSink, Sink
+from .tracing import NULL_TRACER, NullTracer, Span, Tracer
 
 __all__ = [
     "Counter",
@@ -20,4 +33,14 @@ __all__ = [
     "InMemorySink",
     "JsonLinesSink",
     "Sink",
+    "Span",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "ExplainReport",
+    "render_span_tree",
+    "chrome_trace",
+    "prometheus_text",
+    "write_chrome_trace",
+    "write_prometheus",
 ]

@@ -1,0 +1,167 @@
+"""Trace and metric exporters for external tooling.
+
+Two wire formats, both dependency-free:
+
+* **Chrome trace-event JSON** — the ``traceEvents`` array format that
+  `Perfetto <https://ui.perfetto.dev>`_ and ``chrome://tracing`` load
+  directly.  Each span becomes a complete ("ph": "X") event, each span
+  event an instant ("ph": "i"); every per-query trace is laid out on
+  its own track (``tid``) so queries stack vertically in the UI.
+
+* **Prometheus text exposition** — every registry counter becomes a
+  ``counter`` metric, every histogram a ``summary`` with quantile
+  lines plus ``_sum``/``_count``, names sanitised to the Prometheus
+  grammar.  This is a point-in-time scrape written to a file, not a
+  live endpoint — enough to diff workload runs or feed a pushgateway.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Union
+
+from .metrics import MetricsRegistry
+from .tracing import Span, Tracer
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "prometheus_text",
+    "write_prometheus",
+]
+
+
+# ----------------------------------------------------------------------
+# Chrome trace-event JSON
+# ----------------------------------------------------------------------
+def _us(seconds: float) -> float:
+    """Trace-event timestamps are microseconds."""
+    return round(seconds * 1e6, 3)
+
+
+def _clean_args(attrs: Dict[str, Any]) -> Dict[str, Any]:
+    """JSON-safe args: tuples/frozensets become sorted lists."""
+    out: Dict[str, Any] = {}
+    for key, value in attrs.items():
+        if isinstance(value, (set, frozenset)):
+            out[key] = sorted(value)
+        elif isinstance(value, tuple):
+            out[key] = list(value)
+        else:
+            out[key] = value
+    return out
+
+
+def _span_events(span: Span, tid: int, out: List[Dict[str, Any]]) -> None:
+    out.append({
+        "name": span.name,
+        "cat": span.name.split(".", 1)[0],
+        "ph": "X",
+        "ts": _us(span.start),
+        "dur": _us(span.duration),
+        "pid": 0,
+        "tid": tid,
+        "args": _clean_args(span.attrs),
+    })
+    for name, ts, attrs in span.events:
+        out.append({
+            "name": name,
+            "cat": name.split(".", 1)[0],
+            "ph": "i",
+            "s": "t",  # thread-scoped instant
+            "ts": _us(ts),
+            "pid": 0,
+            "tid": tid,
+            "args": _clean_args(attrs),
+        })
+    for child in span.children:
+        _span_events(child, tid, out)
+
+
+def chrome_trace(source: Union[Tracer, Iterable[Span]]) -> Dict[str, Any]:
+    """The trace-event document for a tracer (or explicit root spans)."""
+    traces = list(source.traces if isinstance(source, Tracer) else source)
+    events: List[Dict[str, Any]] = []
+    for tid, root in enumerate(traces, start=1):
+        label = root.name
+        index_name = root.attrs.get("index")
+        if index_name:
+            label = f"{label} [{index_name}]"
+        events.append({
+            "name": "thread_name",
+            "ph": "M",
+            "pid": 0,
+            "tid": tid,
+            "args": {"name": f"query {tid}: {label}"},
+        })
+        _span_events(root, tid, events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: Union[str, Path], source: Union[Tracer, Iterable[Span]]
+) -> Path:
+    """Write the Perfetto-loadable trace JSON; returns the path."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as fh:
+        json.dump(chrome_trace(source), fh, indent=1)
+        fh.write("\n")
+    return path
+
+
+# ----------------------------------------------------------------------
+# Prometheus text exposition
+# ----------------------------------------------------------------------
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _metric_name(name: str, prefix: str) -> str:
+    sanitised = _NAME_RE.sub("_", f"{prefix}_{name}" if prefix else name)
+    if sanitised and sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def _fmt_value(value: float) -> str:
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def prometheus_text(registry: MetricsRegistry, prefix: str = "repro") -> str:
+    """Point-in-time exposition of every counter and histogram.
+
+    Empty histograms are skipped entirely — a summary with NaN
+    quantiles scrapes as an error in strict parsers.
+    """
+    lines: List[str] = []
+    for name, value in registry.counters().items():
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric} {value}")
+    for name, hist in sorted(registry.histograms().items()):
+        if not hist.count:
+            continue
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} summary")
+        for q in (0.5, 0.95, 0.99):
+            lines.append(
+                f'{metric}{{quantile="{q}"}} '
+                f"{_fmt_value(hist.percentile(q * 100))}"
+            )
+        lines.append(f"{metric}_sum {_fmt_value(hist.total)}")
+        lines.append(f"{metric}_count {hist.count}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(
+    path: Union[str, Path], registry: MetricsRegistry, prefix: str = "repro"
+) -> Path:
+    """Write the exposition text; returns the path."""
+    path = Path(path)
+    path.write_text(prometheus_text(registry, prefix=prefix), encoding="utf-8")
+    return path

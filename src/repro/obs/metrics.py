@@ -92,12 +92,17 @@ class Histogram:
 
     @property
     def mean(self) -> float:
-        return self.total / self.count if self.count else 0.0
+        """Mean of all observations; NaN when nothing was observed.
+
+        NaN (not 0.0) so an empty histogram can never be mistaken for
+        one that observed genuinely-zero durations in a report.
+        """
+        return self.total / self.count if self.count else math.nan
 
     def percentile(self, p: float) -> float:
-        """The ``p``-th percentile (0..100) of the observed samples."""
+        """The ``p``-th percentile (0..100); NaN when no samples."""
         if not self._samples:
-            return 0.0
+            return math.nan
         if not self._sorted:
             self._samples.sort()
             self._sorted = True
@@ -224,10 +229,30 @@ class MetricsRegistry:
             sink.emit(record)
 
     def close(self) -> None:
+        """Close every attached sink.
+
+        Every sink's ``close`` is attempted even when an earlier one
+        raises (the first error re-raises once all have been tried), so
+        a failing sink can never leave another's file handle open.
+        """
+        first_error: Optional[BaseException] = None
         for sink in self._sinks:
             close = getattr(sink, "close", None)
-            if close is not None:
+            if close is None:
+                continue
+            try:
                 close()
+            except BaseException as exc:  # noqa: BLE001 — deferred re-raise
+                if first_error is None:
+                    first_error = exc
+        if first_error is not None:
+            raise first_error
+
+    def __enter__(self) -> "MetricsRegistry":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     # -- reporting ----------------------------------------------------
     def counters(self) -> Dict[str, int]:
@@ -237,12 +262,19 @@ class MetricsRegistry:
         return dict(self._histograms)
 
     def snapshot(self) -> Dict[str, Dict]:
-        """One JSON-able dict of every counter and histogram summary."""
+        """One JSON-able dict of every counter and histogram summary.
+
+        Histograms that never observed a sample are omitted: their
+        percentiles are NaN (not JSON-serialisable) and an all-zero row
+        in a workload report reads as a measurement rather than an
+        absence.
+        """
         return {
             "counters": self.counters(),
             "histograms": {
                 name: h.summary()
                 for name, h in sorted(self._histograms.items())
+                if h.count
             },
         }
 

@@ -71,6 +71,10 @@ class JsonLinesSink:
         self._fh.flush()
         self.records_written += 1
 
+    @property
+    def closed(self) -> bool:
+        return self._fh is None
+
     def close(self) -> None:
         if self._fh is not None:
             self._fh.close()

@@ -56,6 +56,9 @@ class WorkloadReport:
     total_distance_cache_misses: int = 0
     total_distance_cache_evictions: int = 0
     total_buffer_evictions: int = 0
+    #: Queries whose network expansion the COM §4.3 bound cut short —
+    #: the pruning the diversified-search figures are really measuring.
+    total_early_terminations: int = 0
 
     def record(self, stats: QueryStats, num_results: int) -> None:
         """Absorb one query's stats into the aggregate."""
@@ -79,6 +82,8 @@ class WorkloadReport:
         self.total_distance_cache_misses += stats.distance_cache_misses
         self.total_distance_cache_evictions += stats.distance_cache_evictions
         self.total_buffer_evictions += stats.buffer_evictions
+        if stats.expansion_terminated_early:
+            self.total_early_terminations += 1
 
     @property
     def avg_response_time(self) -> float:
@@ -163,6 +168,10 @@ class WorkloadReport:
         ):
             row["avg_dijkstras"] = round(self.avg_pairwise_dijkstras, 1)
             row["cache_hit_pct"] = round(100.0 * self.distance_cache_hit_rate, 1)
+        if self.total_early_terminations:
+            row["early_term_pct"] = round(
+                100.0 * self.total_early_terminations / self.num_queries, 1
+            )
         for stage, ms in self.stage_breakdown_ms().items():
             row[f"{stage}_ms"] = ms
         return row
@@ -181,6 +190,7 @@ class WorkloadReport:
             },
             "buffer_evictions": self.total_buffer_evictions,
             "pairwise_dijkstras": self.total_pairwise_dijkstras,
+            "early_terminations": self.total_early_terminations,
         }
 
 

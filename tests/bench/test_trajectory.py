@@ -1,0 +1,66 @@
+"""Tests for the benchmark trajectory artifact (repro.bench.trajectory)."""
+
+import json
+
+from repro.bench.trajectory import TrajectoryWriter, default_trajectory_path
+
+ROWS = [
+    {"dataset": "NA", "SIF": 1.5, "SIF-P": 1.0, "note": "text"},
+    {"dataset": "SF", "SIF": 2.5, "SIF-P": 2.0},
+]
+
+
+class TestTrajectoryWriter:
+    def test_record_and_write(self, tmp_path):
+        path = tmp_path / "BENCH.json"
+        writer = TrajectoryWriter(path)
+        writer.record("Fig 6(a): SK response time (ms)", ROWS)
+        assert writer.write() == path
+        doc = json.loads(path.read_text())
+        assert doc["schema"] == "repro-bench-trajectory/v1"
+        figures = doc["figures"]
+        slug = "fig-6-a-sk-response-time-ms"
+        assert list(figures) == [slug]
+        assert figures[slug]["rows"] == ROWS
+        # Headline = per-column numeric means; text columns skipped.
+        assert figures[slug]["headline"] == {"SIF": 2.0, "SIF-P": 1.5}
+
+    def test_untitled_tables_are_ignored(self, tmp_path):
+        writer = TrajectoryWriter(tmp_path / "b.json")
+        writer.record("", ROWS)
+        assert writer.write() is None
+
+    def test_empty_write_is_a_noop(self, tmp_path):
+        path = tmp_path / "b.json"
+        assert TrajectoryWriter(path).write() is None
+        assert not path.exists()
+
+    def test_later_records_replace_earlier(self, tmp_path):
+        writer = TrajectoryWriter(tmp_path / "b.json")
+        writer.record("Fig 1", [{"x": 1}])
+        writer.record("Fig 1", [{"x": 2}])
+        writer.write()
+        doc = writer.load()
+        assert doc["figures"]["fig-1"]["rows"] == [{"x": 2}]
+
+    def test_load_missing_returns_none(self, tmp_path):
+        assert TrajectoryWriter(tmp_path / "absent.json").load() is None
+
+    def test_env_override(self, tmp_path, monkeypatch):
+        target = tmp_path / "custom.json"
+        monkeypatch.setenv("REPRO_BENCH_TRAJECTORY", str(target))
+        assert default_trajectory_path() == target
+        assert bool(TrajectoryWriter())
+
+    def test_env_disable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_TRAJECTORY", "off")
+        assert default_trajectory_path() is None
+        writer = TrajectoryWriter()
+        assert not writer
+        writer.record("Fig 1", ROWS)  # silently ignored
+        assert writer.write() is None
+
+    def test_default_is_repo_root_artifact(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_TRAJECTORY", raising=False)
+        path = default_trajectory_path()
+        assert path.name == "BENCH_PR2.json"

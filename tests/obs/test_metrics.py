@@ -1,5 +1,6 @@
 """Tests for the observability primitives (repro.obs.metrics)."""
 
+import math
 import time
 
 import pytest
@@ -20,7 +21,10 @@ class TestHistogram:
     def test_empty(self):
         h = Histogram("lat")
         assert h.count == 0
-        assert h.percentile(50) == 0.0
+        # NaN, not 0.0: an empty histogram must not read as "observed
+        # zero latency" in a report.
+        assert math.isnan(h.percentile(50))
+        assert math.isnan(h.mean)
         assert h.summary() == {"count": 0}
 
     def test_single_sample(self):
@@ -162,3 +166,53 @@ class TestMetricsRegistry:
         m.emit({"type": "query", "n": 2})
         assert len(s1.records) == 2
         assert len(s2.records) == 1
+
+    def test_snapshot_omits_empty_histograms(self):
+        m = MetricsRegistry()
+        m.observe("real", 1.0)
+        m.histogram("empty")  # created but never observed
+        snap = m.snapshot()
+        assert "real" in snap["histograms"]
+        assert "empty" not in snap["histograms"]
+
+    def test_close_closes_every_sink_despite_errors(self):
+        class FailingSink:
+            closed = False
+
+            def emit(self, record):
+                pass
+
+            def close(self):
+                self.closed = True
+                raise OSError("disk gone")
+
+        class GoodSink:
+            closed = False
+
+            def emit(self, record):
+                pass
+
+            def close(self):
+                self.closed = True
+
+        m = MetricsRegistry()
+        failing, good = FailingSink(), GoodSink()
+        m.add_sink(failing)
+        m.add_sink(good)
+        with pytest.raises(OSError):
+            m.close()
+        assert failing.closed and good.closed
+
+    def test_context_manager_closes_on_error(self, tmp_path):
+        from repro.obs.sinks import JsonLinesSink
+
+        sink = JsonLinesSink(tmp_path / "out.jsonl")
+        with pytest.raises(RuntimeError):
+            with MetricsRegistry() as m:
+                m.add_sink(sink)
+                m.emit({"n": 1})
+                raise RuntimeError("query blew up")
+        assert sink.closed
+        # The record written before the failure survived on disk.
+        lines = (tmp_path / "out.jsonl").read_text().strip().splitlines()
+        assert len(lines) == 1

@@ -83,3 +83,80 @@ class TestCommands:
         out = capsys.readouterr().out
         for label in ("IR", "IF", "SIF", "SIF-P"):
             assert label in out
+
+
+class TestObservabilityFlags:
+    def test_trace_and_prom_exports(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        prom_path = tmp_path / "metrics.prom"
+        assert main([
+            "diversify", "SYN", "--scale", "0.05", "--queries", "2",
+            "--keywords", "2", "--k", "4",
+            "--trace", str(trace_path), "--prom", str(prom_path),
+        ]) == 0
+        doc = json.loads(trace_path.read_text())
+        assert doc["traceEvents"], "trace must contain events"
+        names = {e["name"] for e in doc["traceEvents"]}
+        assert "query.diversified" in names
+        prom = prom_path.read_text()
+        assert "# TYPE repro_query_count counter" in prom
+        err = capsys.readouterr().err
+        assert "perfetto" in err.lower()
+
+    def test_output_paths_validated_at_parse_time(self, tmp_path):
+        missing = tmp_path / "no" / "such" / "dir" / "out.json"
+        for flag in ("--trace", "--prom", "--metrics"):
+            with pytest.raises(SystemExit):
+                build_parser().parse_args(
+                    ["sk", "SYN", flag, str(missing)]
+                )
+
+    def test_metrics_sink_closed_when_query_raises(self, tmp_path,
+                                                   monkeypatch):
+        import repro.cli as cli_mod
+        from repro.workloads import runner
+
+        path = tmp_path / "metrics.jsonl"
+        captured = {}
+        original = cli_mod._attach_metrics_sink
+
+        def capture_sink(db, args):
+            captured["sink"] = original(db, args)
+            return captured["sink"]
+
+        def explode(*args, **kwargs):
+            raise RuntimeError("query blew up")
+
+        monkeypatch.setattr(cli_mod, "_attach_metrics_sink", capture_sink)
+        monkeypatch.setattr(runner, "run_sk_workload", explode)
+        monkeypatch.setattr(cli_mod, "run_sk_workload", explode)
+        with pytest.raises(RuntimeError):
+            main([
+                "sk", "SYN", "--scale", "0.05", "--queries", "2",
+                "--keywords", "2", "--metrics", str(path),
+            ])
+        assert captured["sink"].closed
+
+
+class TestExplainCommand:
+    def test_explain_diversified(self, capsys, tmp_path):
+        trace_path = tmp_path / "explain.json"
+        assert main([
+            "explain", "SYN", "--scale", "0.05", "--method", "com",
+            "--keywords", "1", "--k", "4", "--delta-max", "4000",
+            "--trace", str(trace_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "EXPLAIN" in out
+        assert "COM" in out
+        doc = json.loads(trace_path.read_text())
+        assert doc["traceEvents"], "explain --trace must emit events"
+
+    def test_explain_sk(self, capsys):
+        assert main([
+            "explain", "SYN", "--scale", "0.05", "--method", "sk",
+            "--keywords", "2", "--index", "sif-p",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SK range query" in out
+        assert "signature filter [SIF-P]" in out
