@@ -23,7 +23,7 @@ from repro.bench.trajectory import TrajectoryWriter
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Session-wide trajectory: every `show`-n table is recorded and the
-#: JSON artifact (BENCH_PR2.json, or $REPRO_BENCH_TRAJECTORY) written
+#: JSON artifact (BENCH_PR3.json, or $REPRO_BENCH_TRAJECTORY) written
 #: once at session end.
 _TRAJECTORY = TrajectoryWriter()
 

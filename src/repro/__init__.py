@@ -21,8 +21,17 @@ Quickstart::
         print(item.object.object_id, round(item.distance, 1))
 """
 
-from . import datasets, obs, workloads
+from . import datasets, engine, obs, workloads
 from .core.database import INDEX_KINDS, Database
+from .engine import (
+    CostHints,
+    ExecutionContext,
+    QueryEngine,
+    QueryPlan,
+    plan_diversified,
+    plan_knn,
+    plan_sk,
+)
 from .core.diversified_search import com_search, seq_search
 from .core.ine import INEExpansion
 from .core.knn import SKkNNQuery, SKkNNResult, knn_search
@@ -52,10 +61,18 @@ __version__ = "1.0.0"
 
 __all__ = [
     "datasets",
+    "engine",
     "obs",
     "workloads",
     "INDEX_KINDS",
     "Database",
+    "CostHints",
+    "ExecutionContext",
+    "QueryEngine",
+    "QueryPlan",
+    "plan_diversified",
+    "plan_knn",
+    "plan_sk",
     "DistanceCache",
     "PairwiseDistanceComputer",
     "MetricsRegistry",

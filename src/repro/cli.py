@@ -86,6 +86,12 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--delta-max", type=float, default=None)
         p.add_argument("--workload-seed", type=int, default=101)
         p.add_argument(
+            "--workers", type=_positive_int, default=1, metavar="N",
+            help="run the workload on N query-engine threads "
+                 "(default 1 = serial); per-query tracing is disabled "
+                 "when N > 1",
+        )
+        p.add_argument(
             "--metrics", metavar="PATH", default=None, type=_output_path,
             help="write per-query metric records (JSON lines) to PATH",
         )
@@ -214,6 +220,9 @@ def _close_metrics_sink(db, sink, error: bool = False) -> None:
 def _enable_tracing(db, args) -> None:
     """Switch tracing on when any trace export was requested."""
     if getattr(args, "trace", None):
+        if getattr(args, "workers", 1) > 1:
+            print("warning: --trace is ignored with --workers > 1 "
+                  "(the tracer is serial-only)", file=sys.stderr)
         db.enable_tracing(max_traces=max(64, getattr(args, "queries", 64)))
 
 
@@ -256,7 +265,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         try:
             index = db.build_index(args.index)
             queries = generate_sk_queries(db, _config(args))
-            report = run_sk_workload(db, index, queries)
+            report = run_sk_workload(db, index, queries, workers=args.workers)
             print_table([report.row()], f"SK workload on {args.profile}")
             _write_observability(db, args)
         except BaseException:
@@ -281,7 +290,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                 index.counters.reset()
                 rows.append(
                     run_diversified_workload(
-                        db, index, queries, method=method
+                        db, index, queries, method=method,
+                        workers=args.workers,
                     ).row()
                 )
             print_table(rows, f"Diversified workload on {args.profile} "
@@ -306,7 +316,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             for kind in ("ir", "if", "sif", "sif-p"):
                 index = db.build_index(kind)
                 index.counters.reset()
-                report = run_sk_workload(db, index, queries)
+                report = run_sk_workload(
+                    db, index, queries, workers=args.workers
+                )
                 row = report.row()
                 row["build_s"] = round(index.build_seconds, 2)
                 row["size_KiB"] = index.size_bytes() // 1024

@@ -2,17 +2,25 @@
 
 A database owns the road network, its CCAM disk layout, the network
 R-tree, the object store and the shared disk manager (buffer pool +
-I/O statistics).  Object indexes are built against it by name, and the
-query entry points (:meth:`Database.sk_search`,
-:meth:`Database.diversified_search`) wrap the core algorithms with
-timing and I/O measurement.
+I/O statistics).  Object indexes are built against it by name.
+
+Query execution lives in :mod:`repro.engine`: the facade's entry
+points (:meth:`Database.sk_search`, :meth:`Database.sk_knn`,
+:meth:`Database.diversified_search`) plan the query
+(:func:`repro.engine.plan.plan_sk` and friends) and hand the plan to
+the database's :class:`~repro.engine.executor.QueryEngine`.  All
+per-query mutable state lives in the engine's
+:class:`~repro.engine.context.ExecutionContext`, which is what lets
+``db.engine.execute_many(plans, workers=N)`` run queries concurrently
+against the very same index objects.
 """
 
 from __future__ import annotations
 
-import time
 from typing import Dict, Iterable, Optional
 
+from ..engine.executor import QueryEngine
+from ..engine.plan import QueryPlan, plan_diversified, plan_knn, plan_sk
 from ..errors import QueryError, ReproError
 from ..index.base import ObjectIndex
 from ..index.edge_store import EdgeStoreIndex
@@ -22,7 +30,7 @@ from ..index.sif import SIFIndex
 from ..index.sif_g import SIFGIndex
 from ..index.sif_p import SIFPIndex
 from ..network.ccam import CCAMStore
-from ..network.distance import DistanceCache, PairwiseDistanceComputer
+from ..network.distance import DistanceCache
 from ..network.graph import NetworkPosition, RoadNetwork
 from ..obs.metrics import MetricsRegistry
 from ..obs.tracing import NULL_TRACER, Tracer
@@ -32,33 +40,13 @@ from ..spatial.kdtree import KDTreePartition
 from ..spatial.rtree import RTree
 from ..spatial.zorder import ZOrderCurve
 from ..storage.pagefile import DiskManager
-from .diversified_search import com_search, seq_search
-from .ine import INEExpansion
+from .knn import SKkNNQuery
 from .queries import DiversifiedResult, DiversifiedSKQuery, QueryStats, SKQuery, SKResult
 
 __all__ = ["Database", "INDEX_KINDS"]
 
 #: Registry of index kinds accepted by :meth:`Database.build_index`.
 INDEX_KINDS = ("ccam", "ir", "if", "sif", "sif-p", "sif-g")
-
-
-class _IndexCounterSnapshot:
-    """Pins an index's lifetime load counters at query start.
-
-    Queries report *deltas* against this snapshot, so indexes shared
-    across queries (the normal case) never leak earlier queries' loads
-    into this query's stats or trace."""
-
-    __slots__ = ("edges_probed", "edges_pruned", "objects_loaded",
-                 "false_hit_objects", "signature_seconds")
-
-    def __init__(self, index: ObjectIndex) -> None:
-        c = index.counters
-        self.edges_probed = c.edges_probed
-        self.edges_pruned = c.edges_pruned_by_signature
-        self.objects_loaded = c.objects_loaded
-        self.false_hit_objects = c.false_hit_objects
-        self.signature_seconds = c.signature_seconds
 
 
 class Database:
@@ -107,6 +95,8 @@ class Database:
         self.edge_rtree: RTree = build_edge_rtree(network, rtree_file)
         self.store = ObjectStore(network)
         self._kd_partition: Optional[KDTreePartition] = None
+        self._keyword_frequencies: Optional[Dict[str, int]] = None
+        self._engine: Optional[QueryEngine] = None
         self._frozen = False
 
     # ------------------------------------------------------------------
@@ -117,6 +107,7 @@ class Database:
     ) -> SpatioTextualObject:
         """Add an object at a known network position."""
         self._ensure_not_frozen()
+        self._keyword_frequencies = None
         return self.store.add(position, keywords)
 
     def add_object_at_point(
@@ -124,6 +115,7 @@ class Database:
     ) -> SpatioTextualObject:
         """Add an object at a raw 2-d point, snapped to the closest edge."""
         self._ensure_not_frozen()
+        self._keyword_frequencies = None
         position = snap_point_to_edge(self.network, self.edge_rtree, point)
         return self.store.add(position, keywords)
 
@@ -153,7 +145,8 @@ class Database:
         and IR's packed R-trees are rebuilt offline in this
         reproduction, as in the paper's static setting.
         """
-        self._ensure_frozen()
+        self.ensure_frozen()
+        self._keyword_frequencies = None
         obj = self.store.add(position, keywords)
         self.store.resort_edge(position.edge_id)
         for index in indexes:
@@ -169,9 +162,14 @@ class Database:
         if self._frozen:
             raise ReproError("database is frozen; no more objects can be added")
 
-    def _ensure_frozen(self) -> None:
+    def ensure_frozen(self) -> None:
+        """Raise unless :meth:`freeze` has been called (query precondition)."""
         if not self._frozen:
             raise ReproError("call freeze() before building indexes or querying")
+
+    # Backwards-compatible private alias (pre-engine callers).
+    def _ensure_frozen(self) -> None:
+        self.ensure_frozen()
 
     # ------------------------------------------------------------------
     # Index construction
@@ -191,7 +189,7 @@ class Database:
         (e.g. ``max_cuts=3`` or ``log_builder=...`` for ``"sif-p"``,
         ``top_terms=25`` for ``"sif-g"``).
         """
-        self._ensure_frozen()
+        self.ensure_frozen()
         kind = kind.lower()
         if kind == "ccam":
             return EdgeStoreIndex(self.store, self.disk, **kwargs)
@@ -225,6 +223,40 @@ class Database:
         raise QueryError(f"unknown index kind {kind!r}; expected one of {INDEX_KINDS}")
 
     # ------------------------------------------------------------------
+    # The query engine
+    # ------------------------------------------------------------------
+    @property
+    def engine(self) -> QueryEngine:
+        """The :class:`~repro.engine.executor.QueryEngine` executing this
+        database's plans.
+
+        Created on first use.  Assign a custom engine to change the
+        execution policy, e.g. ``db.engine = QueryEngine(db,
+        io_wait_latency=1e-3)`` to serve each query's physical reads as
+        real (GIL-releasing) stalls — the disk-resident deployment the
+        paper models, and what makes ``execute_many(workers=N)``
+        overlap I/O.
+        """
+        if self._engine is None:
+            self._engine = QueryEngine(self)
+        return self._engine
+
+    @engine.setter
+    def engine(self, value: QueryEngine) -> None:
+        self._engine = value
+
+    def keyword_frequencies(self) -> Dict[str, int]:
+        """Document frequency of every keyword (cached; planner input).
+
+        The cache is invalidated by every object addition, so dynamic
+        insertions keep cost estimates honest.  Treat the returned
+        mapping as read-only.
+        """
+        if self._keyword_frequencies is None:
+            self._keyword_frequencies = self.store.keyword_frequencies()
+        return self._keyword_frequencies
+
+    # ------------------------------------------------------------------
     # Shared distance cache (warm-cache serving)
     # ------------------------------------------------------------------
     def use_shared_distance_cache(
@@ -243,7 +275,8 @@ class Database:
         bounds the cache in node-map entries (LRU eviction); pass an
         existing ``cache`` to share one across databases.  Returns the
         installed cache; ``db.distance_cache = None`` reverts to
-        per-query private caches.
+        per-query private caches.  The cache is thread-safe; queries
+        running concurrently may share it.
         """
         self.distance_cache = cache if cache is not None else DistanceCache(
             max_entries=max_entries
@@ -264,6 +297,9 @@ class Database:
         Every subsequent query records a per-query span tree (INE
         rounds, signature filtering, pairwise Dijkstras, COM rounds)
         into ``db.tracer.traces``.  Returns the installed tracer.
+
+        The tracer is per-query/serial: ``execute_many`` with more
+        than one worker forces tracing off for its queries.
         """
         self.tracer = Tracer(
             max_traces=max_traces,
@@ -284,63 +320,41 @@ class Database:
         enable_pruning: bool = True,
         landmarks=None,
     ) -> "ExplainReport":
-        """Run one query under a temporary tracer and explain it.
+        """Plan one query, run it under a temporary tracer, explain it.
 
-        ``query`` may be an :class:`~repro.core.queries.SKQuery` or a
+        ``query`` may be an :class:`~repro.core.queries.SKQuery`, an
+        :class:`~repro.core.knn.SKkNNQuery` or a
         :class:`~repro.core.queries.DiversifiedSKQuery` (routed through
-        ``method``).  The database's installed tracer is untouched; the
-        report wraps the query's span tree and result (see
-        :mod:`repro.obs.explain`).
+        ``method``).  The database's installed tracer is untouched —
+        the temporary tracer rides the execution context.  The report
+        carries the chosen :class:`~repro.engine.plan.QueryPlan` and
+        the query's span tree and result (see :mod:`repro.obs.explain`).
         """
         from ..obs.explain import ExplainReport
 
-        previous = self.tracer
+        if isinstance(query, DiversifiedSKQuery):
+            plan = plan_diversified(
+                self, index, query, method=method,
+                enable_pruning=enable_pruning, landmarks=landmarks,
+            )
+        elif isinstance(query, SKkNNQuery):
+            plan = plan_knn(self, index, query)
+        else:
+            plan = plan_sk(self, index, query)
         tracer = Tracer(max_traces=4)
-        self.tracer = tracer
-        try:
-            if isinstance(query, DiversifiedSKQuery):
-                result = self.diversified_search(
-                    index, query, method=method,
-                    enable_pruning=enable_pruning, landmarks=landmarks,
-                )
-            else:
-                result = self.sk_search(index, query)
-        finally:
-            self.tracer = previous
-            index.tracer = previous
-        return ExplainReport(tracer.last_trace, result)
-
-    def _trace_signature_summary(
-        self, index: ObjectIndex, before: "_IndexCounterSnapshot",
-        results: int,
-    ) -> None:
-        """Attach a per-query ``signature.filter`` summary span.
-
-        Records, as counter deltas, how many edges the signature test
-        dropped, how many candidate objects were loaded for
-        verification and how many of those were false positives —
-        split by index family via the ``partition`` attribute, which is
-        what makes the SIF vs SIF-P comparison visible per query.
-        """
-        c = index.counters
-        self.tracer.add_span(
-            "signature.filter",
-            c.signature_seconds - before.signature_seconds,
-            partition=index.name,
-            edges_pruned=(
-                c.edges_pruned_by_signature - before.edges_pruned
-            ),
-            edges_probed=c.edges_probed - before.edges_probed,
-            candidates_tested=c.objects_loaded - before.objects_loaded,
-            false_positives=c.false_hit_objects - before.false_hit_objects,
-            results=results,
-        )
+        result = self.engine.execute(plan, tracer=tracer)
+        return ExplainReport(tracer.last_trace, result, plan=plan)
 
     # ------------------------------------------------------------------
     # Metrics recording
     # ------------------------------------------------------------------
     def _record_query(self, kind: str, label: str, stats: QueryStats) -> None:
-        """Aggregate one query's stats into the registry + emit a record."""
+        """Aggregate one query's stats into the registry + emit a record.
+
+        ``label`` is the executed plan's label (index kind +
+        algorithm, e.g. ``"SIF/COM"``), so per-query records from
+        mixed workloads stay attributable.
+        """
         m = self.metrics
         m.inc("query.count")
         m.observe("query.wall_seconds", stats.wall_seconds)
@@ -377,91 +391,36 @@ class Database:
         m.emit(record)
 
     # ------------------------------------------------------------------
-    # Queries
+    # Queries (thin wrappers over the engine)
     # ------------------------------------------------------------------
+    def plan(self, index: ObjectIndex, query, **kwargs) -> QueryPlan:
+        """Plan a query without executing it (dispatch on query type)."""
+        if isinstance(query, DiversifiedSKQuery):
+            return plan_diversified(self, index, query, **kwargs)
+        if isinstance(query, SKkNNQuery):
+            return plan_knn(self, index, query, **kwargs)
+        return plan_sk(self, index, query, **kwargs)
+
     def sk_search(self, index: ObjectIndex, query: SKQuery) -> SKResult:
         """Algorithm 3: boolean SK range search on the road network."""
-        self._ensure_frozen()
-        tracer = self.tracer
-        index.tracer = tracer
-        before = self.disk.stats.snapshot()
-        evictions_before = self.disk.buffer.evictions
-        counters_before = _IndexCounterSnapshot(index)
-        start = time.perf_counter()
-        with tracer.span(
-            "query.sk", index=index.name, terms=sorted(query.terms),
-            delta_max=query.delta_max,
-        ) as root:
-            expansion = INEExpansion(
-                self.ccam, self.network, index, query.position, query.terms,
-                query.delta_max, tracer=tracer,
-            )
-            items = expansion.run_to_completion()
-            wall = time.perf_counter() - start
-            if tracer.enabled:
-                self._trace_signature_summary(index, counters_before, len(items))
-                root.set(
-                    candidates=len(items), results=len(items),
-                    nodes_accessed=expansion.stats.nodes_accessed,
-                    edges_accessed=expansion.stats.edges_accessed,
-                    wall_seconds=wall,
-                )
-        after = self.disk.stats.snapshot()
-        stats = QueryStats(
-            wall_seconds=wall,
-            nodes_accessed=expansion.stats.nodes_accessed,
-            edges_accessed=expansion.stats.edges_accessed,
-            objects_loaded=(
-                index.counters.objects_loaded - counters_before.objects_loaded
-            ),
-            false_hit_objects=(
-                index.counters.false_hit_objects
-                - counters_before.false_hit_objects
-            ),
-            candidates=len(items),
-            io=after - before,
-            buffer_evictions=self.disk.buffer.evictions - evictions_before,
-            stage_seconds={
-                "expansion": wall,
-                "object_loading": expansion.stats.load_seconds,
-                "signature": (
-                    index.counters.signature_seconds
-                    - counters_before.signature_seconds
-                ),
-            },
-        )
-        self._record_query("sk", index.name, stats)
-        return SKResult(items, stats)
+        return self.engine.execute(plan_sk(self, index, query))
 
-    def sk_knn(self, index: ObjectIndex, query) -> "SKkNNResult":
+    def sk_knn(self, index: ObjectIndex, query: SKkNNQuery) -> "SKkNNResult":
         """Boolean SK k-nearest-neighbour search (see repro.core.knn)."""
-        from .knn import knn_search
-
-        self._ensure_frozen()
-        tracer = self.tracer
-        index.tracer = tracer
-        before = self.disk.stats.snapshot()
-        with tracer.span(
-            "query.knn", index=index.name, terms=sorted(query.terms),
-            k=query.k,
-        ) as root:
-            result = knn_search(
-                self.ccam, self.network, index, query, tracer=tracer
-            )
-            if tracer.enabled:
-                root.set(results=len(result))
-        result.stats.io = self.disk.stats.snapshot() - before
-        return result
+        return self.engine.execute(plan_knn(self, index, query))
 
     def diversified_search(
         self,
         index: ObjectIndex,
         query: DiversifiedSKQuery,
-        method: str = "com",
+        method: Optional[str] = "com",
         enable_pruning: bool = True,
         landmarks=None,
     ) -> DiversifiedResult:
         """Diversified SK search via ``"seq"`` or ``"com"``.
+
+        ``method=None`` lets the planner choose from its cost hints
+        (see :func:`repro.engine.plan.plan_diversified`).
 
         ``landmarks`` (a :class:`repro.network.landmarks.LandmarkIndex`)
         tightens COM's pruning bounds; ignored by SEQ.
@@ -470,71 +429,11 @@ class Database:
         (:meth:`use_shared_distance_cache`) the pairwise computer backs
         onto it, so node maps survive across queries; all reported
         stats remain per-query deltas."""
-        self._ensure_frozen()
-        method = method.lower()
-        if method not in ("seq", "com"):
-            raise QueryError("method must be 'seq' or 'com'")
-        tracer = self.tracer
-        index.tracer = tracer
-        before = self.disk.stats.snapshot()
-        evictions_before = self.disk.buffer.evictions
-        counters_before = _IndexCounterSnapshot(index)
-        pairwise = PairwiseDistanceComputer(
-            self.ccam,
-            self.network,
-            cutoff=2.0 * query.delta_max * 1.001,
-            cache=self.distance_cache,
-            tracer=tracer,
+        plan = plan_diversified(
+            self, index, query, method=method,
+            enable_pruning=enable_pruning, landmarks=landmarks,
         )
-        with tracer.span(
-            "query.diversified", method=method.upper(), index=index.name,
-            terms=sorted(query.terms), delta_max=query.delta_max,
-            k=query.k, lambda_=query.lambda_,
-        ) as root:
-            if method == "seq":
-                result = seq_search(
-                    self.ccam, self.network, index, query, pairwise=pairwise,
-                    tracer=tracer,
-                )
-            else:
-                result = com_search(
-                    self.ccam,
-                    self.network,
-                    index,
-                    query,
-                    pairwise=pairwise,
-                    enable_pruning=enable_pruning,
-                    landmarks=landmarks,
-                    tracer=tracer,
-                )
-            if tracer.enabled:
-                self._trace_signature_summary(
-                    index, counters_before, len(result)
-                )
-                root.set(
-                    candidates=result.stats.candidates, results=len(result),
-                    objective_value=result.objective_value,
-                    wall_seconds=result.stats.wall_seconds,
-                    pairwise_dijkstras=result.stats.pairwise_dijkstras,
-                    distance_cache_hits=result.stats.distance_cache_hits,
-                    terminated_early=result.stats.expansion_terminated_early,
-                )
-        after = self.disk.stats.snapshot()
-        result.stats.io = after - before
-        result.stats.objects_loaded = (
-            index.counters.objects_loaded - counters_before.objects_loaded
-        )
-        result.stats.false_hit_objects = (
-            index.counters.false_hit_objects - counters_before.false_hit_objects
-        )
-        result.stats.buffer_evictions = (
-            self.disk.buffer.evictions - evictions_before
-        )
-        result.stats.stage_seconds["signature"] = (
-            index.counters.signature_seconds - counters_before.signature_seconds
-        )
-        self._record_query(f"diversified/{method}", index.name, result.stats)
-        return result
+        return self.engine.execute(plan)
 
     # ------------------------------------------------------------------
     # Reporting helpers

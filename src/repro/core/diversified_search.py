@@ -64,8 +64,12 @@ class _ComputerDelta:
         self._computer = computer
         self._runs = computer.dijkstra_runs
         self._seconds = computer.dijkstra_seconds
-        cache = computer.cache
-        self._hits, self._misses, self._evictions = cache.counters_snapshot()
+        # Cache hit/miss/eviction deltas come from the computer's own
+        # counters, never from the cache: the cache may be shared by
+        # queries running concurrently on other threads.
+        self._hits = computer.cache_hits
+        self._misses = computer.cache_misses
+        self._evictions = computer.cache_evictions
 
     @property
     def dijkstra_runs(self) -> int:
@@ -77,10 +81,13 @@ class _ComputerDelta:
 
     def apply(self, stats: QueryStats) -> None:
         stats.pairwise_dijkstras = self.dijkstra_runs
-        hits, misses, evictions = self._computer.cache.counters_snapshot()
-        stats.distance_cache_hits = hits - self._hits
-        stats.distance_cache_misses = misses - self._misses
-        stats.distance_cache_evictions = evictions - self._evictions
+        stats.distance_cache_hits = self._computer.cache_hits - self._hits
+        stats.distance_cache_misses = (
+            self._computer.cache_misses - self._misses
+        )
+        stats.distance_cache_evictions = (
+            self._computer.cache_evictions - self._evictions
+        )
 
 
 def _finalise(

@@ -1,0 +1,235 @@
+"""The query executor: runs :class:`~repro.engine.plan.QueryPlan`\\ s.
+
+:class:`QueryEngine` is the single place query algorithms are invoked.
+``execute`` opens an :class:`~repro.engine.context.ExecutionContext`
+(per-query counters, I/O scope, tracer), dispatches on the plan's
+``kind``/``algorithm``, finalises the stats and records them into the
+database's metrics registry under the plan's label.
+
+``execute_many`` runs a batch — serially, or on a thread pool.  The
+concurrency contract:
+
+* Index structures are read-only during queries; per-query counters
+  live in thread-local execution slots (``ObjectIndex.begin_execution``).
+* The disk layer (buffer pool, I/O stats) and the shared
+  :class:`~repro.network.distance.DistanceCache` are lock-protected;
+  each query builds its *own* ``PairwiseDistanceComputer`` on top of
+  the shared cache.
+* The :class:`~repro.obs.tracing.Tracer` is a per-query span *stack*
+  and is **not** thread-safe, so concurrent executions force the no-op
+  tracer; trace serially instead.
+
+CPython's GIL serialises the pure-Python compute, so wall-clock
+speedup from ``workers > 1`` comes from overlapping *waits*.  The
+simulated disk charges ``physical_reads × io_latency`` arithmetically;
+``io_wait_latency`` makes that charge real — the engine sleeps it off
+after each query (releasing the GIL), which is the disk-resident
+deployment the paper models.  Concurrent workers overlap those stalls
+exactly as real outstanding I/O would.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Iterable, List, Optional
+
+from ..core.diversified_search import com_search, seq_search
+from ..core.ine import INEExpansion
+from ..core.knn import knn_search
+from ..core.queries import QueryStats, SKResult
+from ..errors import QueryError
+from ..network.distance import PairwiseDistanceComputer
+from ..obs.tracing import NULL_TRACER
+from .context import ExecutionContext
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from ..core.database import Database
+    from .plan import QueryPlan
+
+__all__ = ["QueryEngine"]
+
+
+class QueryEngine:
+    """Executes query plans against one database.
+
+    ``io_wait_latency`` (seconds per physical page read, default 0:
+    disabled) turns the simulated disk's arithmetic I/O charge into a
+    real per-query stall, served *after* the compute with the GIL
+    released — see the module docstring.  The sleep is excluded from
+    ``stats.wall_seconds`` (which keeps measuring compute) but is part
+    of the batch wall clock that ``execute_many`` callers observe.
+    """
+
+    def __init__(
+        self, db: "Database", io_wait_latency: float = 0.0
+    ) -> None:
+        if io_wait_latency < 0:
+            raise ValueError("io_wait_latency must be non-negative")
+        self.db = db
+        self.io_wait_latency = io_wait_latency
+
+    # ------------------------------------------------------------------
+    # Single-plan execution
+    # ------------------------------------------------------------------
+    def execute(self, plan: "QueryPlan", tracer=None):
+        """Run one plan; returns the kind-specific result object.
+
+        ``tracer`` overrides the database's installed tracer for this
+        execution only (``repro explain`` uses this to trace one query
+        without touching global state).
+        """
+        if plan.kind == "sk":
+            result = self._execute_sk(plan, tracer)
+        elif plan.kind == "knn":
+            result = self._execute_knn(plan, tracer)
+        elif plan.kind == "diversified":
+            result = self._execute_diversified(plan, tracer)
+        else:  # pragma: no cover — QueryPlan validates kind
+            raise QueryError(f"unknown plan kind {plan.kind!r}")
+        self._io_wait(result.stats)
+        return result
+
+    def _execute_sk(self, plan: "QueryPlan", tracer) -> SKResult:
+        db = self.db
+        query = plan.query
+        with ExecutionContext(db, plan, tracer) as ctx:
+            t = ctx.tracer
+            start = time.perf_counter()
+            with t.span(
+                "query.sk", index=plan.index.name,
+                terms=sorted(query.terms), delta_max=query.delta_max,
+            ) as root:
+                expansion = INEExpansion(
+                    db.ccam, db.network, plan.index, query.position,
+                    query.terms, query.delta_max, tracer=t,
+                )
+                items = expansion.run_to_completion()
+                wall = time.perf_counter() - start
+                if t.enabled:
+                    ctx.trace_signature_summary(len(items))
+                    root.set(
+                        candidates=len(items), results=len(items),
+                        nodes_accessed=expansion.stats.nodes_accessed,
+                        edges_accessed=expansion.stats.edges_accessed,
+                        wall_seconds=wall,
+                    )
+            stats = QueryStats(
+                wall_seconds=wall,
+                nodes_accessed=expansion.stats.nodes_accessed,
+                edges_accessed=expansion.stats.edges_accessed,
+                candidates=len(items),
+                stage_seconds={
+                    "expansion": wall,
+                    "object_loading": expansion.stats.load_seconds,
+                },
+            )
+            ctx.finalise(stats)
+        db._record_query("sk", plan.label, stats)
+        return SKResult(items, stats)
+
+    def _execute_knn(self, plan: "QueryPlan", tracer):
+        db = self.db
+        query = plan.query
+        with ExecutionContext(db, plan, tracer) as ctx:
+            t = ctx.tracer
+            start = time.perf_counter()
+            with t.span(
+                "query.knn", index=plan.index.name,
+                terms=sorted(query.terms), k=query.k,
+            ) as root:
+                result = knn_search(
+                    db.ccam, db.network, plan.index, query, tracer=t
+                )
+                if t.enabled:
+                    root.set(results=len(result))
+            result.stats.wall_seconds = time.perf_counter() - start
+            ctx.finalise(result.stats)
+        db._record_query("knn", plan.label, result.stats)
+        return result
+
+    def _execute_diversified(self, plan: "QueryPlan", tracer):
+        db = self.db
+        query = plan.query
+        with ExecutionContext(db, plan, tracer) as ctx:
+            t = ctx.tracer
+            # One computer per query; the cache behind it may be shared
+            # (and is lock-protected), the computer never is.
+            pairwise = PairwiseDistanceComputer(
+                db.ccam,
+                db.network,
+                cutoff=2.0 * query.delta_max * 1.001,
+                cache=db.distance_cache,
+                tracer=t,
+            )
+            with t.span(
+                "query.diversified", method=plan.algorithm.upper(),
+                index=plan.index.name, terms=sorted(query.terms),
+                delta_max=query.delta_max, k=query.k,
+                lambda_=query.lambda_,
+            ) as root:
+                if plan.algorithm == "seq":
+                    result = seq_search(
+                        db.ccam, db.network, plan.index, query,
+                        pairwise=pairwise, tracer=t,
+                    )
+                else:
+                    result = com_search(
+                        db.ccam, db.network, plan.index, query,
+                        pairwise=pairwise,
+                        enable_pruning=plan.enable_pruning,
+                        landmarks=plan.landmarks,
+                        tracer=t,
+                    )
+                if t.enabled:
+                    ctx.trace_signature_summary(len(result))
+                    root.set(
+                        candidates=result.stats.candidates,
+                        results=len(result),
+                        objective_value=result.objective_value,
+                        wall_seconds=result.stats.wall_seconds,
+                        pairwise_dijkstras=result.stats.pairwise_dijkstras,
+                        distance_cache_hits=result.stats.distance_cache_hits,
+                        terminated_early=(
+                            result.stats.expansion_terminated_early
+                        ),
+                    )
+            ctx.finalise(result.stats)
+        db._record_query(
+            f"diversified/{plan.algorithm}", plan.label, result.stats
+        )
+        return result
+
+    def _io_wait(self, stats: Optional[QueryStats]) -> None:
+        if not self.io_wait_latency or stats is None or stats.io is None:
+            return
+        stall = stats.io.physical_reads * self.io_wait_latency
+        if stall > 0:
+            time.sleep(stall)
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def execute_many(
+        self, plans: Iterable["QueryPlan"], workers: int = 1
+    ) -> List:
+        """Run a batch of plans; results come back in plan order.
+
+        ``workers > 1`` executes on a thread pool.  Results, metrics
+        aggregates and lifetime counters are identical to a serial run
+        (per-execution state is context-owned; merges are locked); only
+        sink-record *order* may differ.  Tracing is forced off per
+        query (the tracer's span stack is not thread-safe) — trace
+        serially when spans matter.
+        """
+        if workers < 1:
+            raise QueryError("workers must be >= 1")
+        plans = list(plans)
+        if workers == 1 or len(plans) <= 1:
+            return [self.execute(plan) for plan in plans]
+        with ThreadPoolExecutor(
+            max_workers=workers, thread_name_prefix="repro-query"
+        ) as pool:
+            return list(
+                pool.map(lambda p: self.execute(p, tracer=NULL_TRACER), plans)
+            )

@@ -1,0 +1,238 @@
+"""Query planning: turn (query, index) into an executable QueryPlan.
+
+The legacy ``Database`` facade made the algorithm choice ad hoc at each
+call site — SK search always ran INE to completion, diversified search
+took a ``method=`` string, kNN was its own entry point.  Diversified
+top-k engines are plan-then-execute pipelines (Qin et al.); this
+module supplies the *plan* half: a small, immutable description of how
+one query will run, with cost hints derived from the dataset's
+statistics and the query keywords' document frequencies.
+
+A :class:`QueryPlan` is pure metadata — building one touches no index
+pages and runs no Dijkstra.  The executor
+(:class:`~repro.engine.executor.QueryEngine`) consumes plans;
+``repro explain`` renders them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from ..core.knn import SKkNNQuery
+from ..core.queries import DiversifiedSKQuery, SKQuery
+from ..errors import QueryError
+from ..index.base import ObjectIndex
+
+if TYPE_CHECKING:  # pragma: no cover — import cycle guard
+    from ..core.database import Database
+
+__all__ = ["CostHints", "QueryPlan", "plan_sk", "plan_knn", "plan_diversified"]
+
+#: Algorithms the executor understands, per query kind.
+_ALGORITHMS = {
+    "sk": ("ine",),
+    "knn": ("ine-knn",),
+    "diversified": ("seq", "com"),
+}
+
+#: Below this many estimated matching objects SEQ's flat
+#: scan-then-greedy beats COM: the candidate set is so small that the
+#: core-pair maintenance and pruning bookkeeping cost more than the
+#: pairwise distances they avoid.  2·k keeps the threshold query-sized.
+_SEQ_CANDIDATE_FACTOR = 2
+
+
+@dataclass(frozen=True)
+class CostHints:
+    """Planner-time cost estimates for one query.
+
+    All numbers derive from catalogue statistics
+    (:meth:`~repro.core.database.Database.dataset_statistics` and the
+    object store's keyword document frequencies) — nothing here reads
+    index pages.  ``estimated_matches`` assumes keyword independence:
+    ``N · Π(df_t / N)`` over the query terms, the textbook conjunctive
+    selectivity estimate; the rarest term bounds it from above.
+    """
+
+    num_objects: int
+    num_edges: int
+    vocabulary_size: int
+    #: ``(term, document frequency)`` pairs, rarest first.
+    term_frequencies: Tuple[Tuple[str, int], ...]
+    #: Estimated objects satisfying the conjunctive keyword constraint.
+    estimated_matches: float
+    #: ``estimated_matches / num_objects`` (0 on an empty store).
+    selectivity: float
+
+    @property
+    def rarest_term(self) -> Optional[str]:
+        return self.term_frequencies[0][0] if self.term_frequencies else None
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An executable description of one query.
+
+    ``label`` (index kind + algorithm, e.g. ``"SIF/COM"``) is what the
+    metrics layer records per query, so workload snapshots from
+    mixed-plan runs stay attributable.
+    """
+
+    kind: str  # "sk" | "knn" | "diversified"
+    query: object
+    index: ObjectIndex = field(repr=False)
+    algorithm: str
+    enable_pruning: bool = True
+    landmarks: object = field(default=None, repr=False)
+    hints: Optional[CostHints] = None
+    #: Why the planner picked ``algorithm`` (shown by ``repro explain``).
+    rationale: str = ""
+
+    def __post_init__(self) -> None:
+        allowed = _ALGORITHMS.get(self.kind)
+        if allowed is None:
+            raise QueryError(f"unknown plan kind {self.kind!r}")
+        if self.algorithm not in allowed:
+            raise QueryError(
+                f"algorithm {self.algorithm!r} invalid for kind "
+                f"{self.kind!r}; expected one of {allowed}"
+            )
+
+    @property
+    def label(self) -> str:
+        """Index kind + algorithm, the per-query attribution label."""
+        return f"{self.index.name}/{self.algorithm.upper()}"
+
+    def describe(self) -> str:
+        """Multi-line rendering for ``repro explain``."""
+        q = self.query
+        lines = [f"QUERY PLAN  [{self.label}]"]
+        lines.append(f"  kind: {self.kind}    algorithm: {self.algorithm}")
+        terms = "+".join(sorted(q.terms)) if getattr(q, "terms", None) else "?"
+        params = [f"terms={terms}"]
+        if isinstance(q, (SKQuery, DiversifiedSKQuery)):
+            params.append(f"δmax={q.delta_max:g}")
+        if isinstance(q, DiversifiedSKQuery):
+            params.append(f"k={q.k}")
+            params.append(f"λ={q.lambda_:g}")
+        if isinstance(q, SKkNNQuery):
+            params.append(f"k={q.k}")
+        lines.append("  query: " + "  ".join(params))
+        if self.kind == "diversified":
+            lines.append(
+                f"  pruning: {'on' if self.enable_pruning else 'off'}"
+                f"    landmarks: "
+                f"{'yes' if self.landmarks is not None else 'no'}"
+            )
+        h = self.hints
+        if h is not None:
+            freq = ", ".join(f"{t}:{n}" for t, n in h.term_frequencies)
+            lines.append(
+                f"  cost hints: {h.num_objects} objects, "
+                f"df[{freq}], est. matches "
+                f"{h.estimated_matches:.1f} "
+                f"(selectivity {h.selectivity:.2%})"
+            )
+        if self.rationale:
+            lines.append(f"  rationale: {self.rationale}")
+        return "\n".join(lines)
+
+
+def _cost_hints(db: "Database", terms) -> CostHints:
+    stats = db.dataset_statistics()
+    frequencies = db.keyword_frequencies()
+    num_objects = int(stats["num_objects"])
+    tf = tuple(sorted(
+        ((term, frequencies.get(term, 0)) for term in terms),
+        key=lambda pair: (pair[1], pair[0]),
+    ))
+    estimated = float(num_objects)
+    for _term, df in tf:
+        estimated *= (df / num_objects) if num_objects else 0.0
+    return CostHints(
+        num_objects=num_objects,
+        num_edges=int(stats["num_edges"]),
+        vocabulary_size=int(stats["vocabulary_size"]),
+        term_frequencies=tf,
+        estimated_matches=estimated,
+        selectivity=(estimated / num_objects) if num_objects else 0.0,
+    )
+
+
+def plan_sk(db: "Database", index: ObjectIndex, query: SKQuery) -> QueryPlan:
+    """Plan a boolean SK range search (always INE, Algorithm 3)."""
+    db.ensure_frozen()
+    return QueryPlan(
+        kind="sk",
+        query=query,
+        index=index,
+        algorithm="ine",
+        hints=_cost_hints(db, query.terms),
+        rationale="SK range search expands the network incrementally (INE)",
+    )
+
+
+def plan_knn(
+    db: "Database", index: ObjectIndex, query: SKkNNQuery
+) -> QueryPlan:
+    """Plan a boolean SK kNN search (INE with adaptive radius)."""
+    db.ensure_frozen()
+    return QueryPlan(
+        kind="knn",
+        query=query,
+        index=index,
+        algorithm="ine-knn",
+        hints=_cost_hints(db, query.terms),
+        rationale="kNN takes k items off the distance-ordered INE stream",
+    )
+
+
+def plan_diversified(
+    db: "Database",
+    index: ObjectIndex,
+    query: DiversifiedSKQuery,
+    method: Optional[str] = None,
+    enable_pruning: bool = True,
+    landmarks=None,
+) -> QueryPlan:
+    """Plan a diversified SK search.
+
+    ``method`` forces ``"seq"`` or ``"com"``; when ``None`` the planner
+    chooses from the cost hints: COM's incremental core-pair
+    maintenance and §4.3 pruning pay off on large candidate streams,
+    while tiny streams (≲ 2·k estimated matches) are cheaper through
+    SEQ's flat scan.
+    """
+    db.ensure_frozen()
+    hints = _cost_hints(db, query.terms)
+    if method is not None:
+        method = method.lower()
+        if method not in ("seq", "com"):
+            raise QueryError("method must be 'seq' or 'com'")
+        algorithm = method
+        rationale = f"caller forced {method.upper()}"
+    else:
+        threshold = _SEQ_CANDIDATE_FACTOR * query.k
+        if hints.estimated_matches <= threshold:
+            algorithm = "seq"
+            rationale = (
+                f"est. {hints.estimated_matches:.1f} matches ≤ "
+                f"{threshold} (2·k): flat SEQ beats COM's bookkeeping"
+            )
+        else:
+            algorithm = "com"
+            rationale = (
+                f"est. {hints.estimated_matches:.1f} matches > "
+                f"{threshold} (2·k): COM's §4.3 pruning pays off"
+            )
+    return QueryPlan(
+        kind="diversified",
+        query=query,
+        index=index,
+        algorithm=algorithm,
+        enable_pruning=enable_pruning,
+        landmarks=landmarks,
+        hints=hints,
+        rationale=rationale,
+    )

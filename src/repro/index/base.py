@@ -12,8 +12,9 @@ loads.
 from __future__ import annotations
 
 import abc
+import threading
 from dataclasses import dataclass
-from typing import FrozenSet, List, Sequence
+from typing import FrozenSet, List, Optional, Sequence
 
 from ..network.objects import ObjectStore, SpatioTextualObject
 from ..obs.tracing import NULL_TRACER
@@ -50,26 +51,128 @@ class LoadCounters:
         self.results_returned = 0
         self.signature_seconds = 0.0
 
+    def absorb(self, other: "LoadCounters") -> None:
+        """Add another counter set's values into this one."""
+        self.edges_probed += other.edges_probed
+        self.edges_pruned_by_signature += other.edges_pruned_by_signature
+        self.objects_loaded += other.objects_loaded
+        self.false_hits += other.false_hits
+        self.false_hit_objects += other.false_hit_objects
+        self.results_returned += other.results_returned
+        self.signature_seconds += other.signature_seconds
+
 
 class ObjectIndex(abc.ABC):
-    """Access path from an edge id to its matching objects."""
+    """Access path from an edge id to its matching objects.
+
+    Concurrency contract: an index is **read-only during queries**.
+    Per-query load counters and the active tracer live in a per-thread
+    execution slot installed by
+    :class:`~repro.engine.context.ExecutionContext`
+    (:meth:`begin_execution` / :meth:`end_execution`), so concurrent
+    queries on different threads never write into each other's stats.
+    The index's only persistent mutable state — the lifetime counter
+    totals — is updated once per query, at :meth:`end_execution`, under
+    a lock.
+    """
 
     #: Short name used in reports ("IR", "IF", "SIF", "SIF-P", "SIF-G").
     name: str = "?"
 
     def __init__(self, store: ObjectStore) -> None:
         self._store = store
-        self.counters = LoadCounters()
+        #: Lifetime counter totals, visible whenever no per-query
+        #: execution slot is active on the calling thread.
+        self._lifetime_counters = LoadCounters()
+        self._default_tracer = NULL_TRACER
+        #: An inner index (SIF's inverted file) forwards its counters
+        #: and tracer to the composite that owns it; see
+        #: :meth:`share_stats_with`.
+        self._stats_parent: Optional["ObjectIndex"] = None
+        self._execution_slots = threading.local()
+        self._merge_lock = threading.Lock()
         #: Wall-clock seconds spent building the index.
         self.build_seconds: float = 0.0
-        #: Tracer for per-edge pruning events.  The owning database
-        #: re-points this at its own tracer at every query entry, so an
-        #: index follows whatever tracing state the database is in.
-        self.tracer = NULL_TRACER
 
     @property
     def store(self) -> ObjectStore:
         return self._store
+
+    # ------------------------------------------------------------------
+    # Per-execution stats routing
+    # ------------------------------------------------------------------
+    @property
+    def counters(self) -> LoadCounters:
+        """The counter set writes should land in *right now*.
+
+        Inside a query this is the executing context's per-query
+        counters (installed per thread); outside it is the lifetime
+        totals, which accumulate one query's deltas at a time.
+        """
+        parent = self._stats_parent
+        if parent is not None:
+            return parent.counters
+        stack = getattr(self._execution_slots, "stack", None)
+        if stack:
+            return stack[-1][0]
+        return self._lifetime_counters
+
+    @property
+    def lifetime_counters(self) -> LoadCounters:
+        """The persistent totals, regardless of any active execution."""
+        parent = self._stats_parent
+        if parent is not None:
+            return parent.lifetime_counters
+        return self._lifetime_counters
+
+    @property
+    def tracer(self):
+        """Tracer for per-edge pruning events.
+
+        Resolves to the executing context's tracer while a query is
+        active on this thread; otherwise to the default (assignable,
+        normally :data:`~repro.obs.tracing.NULL_TRACER`)."""
+        parent = self._stats_parent
+        if parent is not None:
+            return parent.tracer
+        stack = getattr(self._execution_slots, "stack", None)
+        if stack:
+            return stack[-1][1]
+        return self._default_tracer
+
+    @tracer.setter
+    def tracer(self, tracer) -> None:
+        self._default_tracer = tracer
+
+    def share_stats_with(self, parent: "ObjectIndex") -> None:
+        """Forward this index's counters/tracer to ``parent``.
+
+        Composite indexes (SIF wrapping an inverted file) call this so
+        the inner index's loads surface on the composite — including
+        inside per-query execution slots, which only the composite
+        manages."""
+        self._stats_parent = parent
+
+    def begin_execution(self, counters: LoadCounters, tracer) -> None:
+        """Install a per-query stats slot for the calling thread.
+
+        Paired with :meth:`end_execution`; slots nest per thread, so a
+        query that re-enters the index (kNN's radius-doubling rounds)
+        keeps one slot throughout."""
+        stack = getattr(self._execution_slots, "stack", None)
+        if stack is None:
+            stack = self._execution_slots.stack = []
+        stack.append((counters, tracer))
+
+    def end_execution(self) -> None:
+        """Retire the calling thread's slot, folding its per-query
+        counter deltas into the lifetime totals (lock-protected)."""
+        stack = getattr(self._execution_slots, "stack", None)
+        if not stack:
+            return
+        counters, _tracer = stack.pop()
+        with self._merge_lock:
+            self._lifetime_counters.absorb(counters)
 
     @abc.abstractmethod
     def load_objects(

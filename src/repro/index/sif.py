@@ -52,7 +52,7 @@ class SIFIndex(ObjectIndex):
         )
         self.build_seconds = time.perf_counter() - start
         # Counters are shared so false hits surface on the SIF object.
-        self._inverted.counters = self.counters
+        self._inverted.share_stats_with(self)
 
     @property
     def signatures(self) -> SignatureFile:

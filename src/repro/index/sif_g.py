@@ -59,7 +59,7 @@ class SIFGIndex(ObjectIndex):
             min_postings_pages=min_postings_pages,
             kd_partition=kd_partition,
         )
-        self._inverted.counters = self.counters
+        self._inverted.share_stats_with(self)
 
         freq = store.keyword_frequencies()
         ranked = sorted(freq, key=lambda t: (-freq[t], t))

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import heapq
 import math
+import threading
 import time
 from collections import OrderedDict
 from typing import Dict, Iterable, Optional, Protocol, Sequence, Tuple
@@ -170,8 +171,18 @@ class DistanceCache:
     so queries with different ``delta_max`` never read each other's
     truncated maps.
 
-    ``hits``/``misses``/``evictions`` are plain integers sampled as
-    deltas by the metrics layer — no callback overhead on the hot path.
+    Concurrency contract: one instance may be shared by queries running
+    on **multiple threads** (``QueryEngine.execute_many``).  Every
+    operation that touches the LRU ``OrderedDict`` or the
+    hit/miss/eviction counters runs under one internal lock, so reads
+    can never observe a half-applied eviction and counter increments
+    are never lost.  Cached node maps themselves are treated as
+    immutable once ``put``: callers must never mutate a map obtained
+    from :meth:`get`.  ``hits``/``misses``/``evictions`` are *lifetime*
+    totals; per-query deltas are counted by each (per-query)
+    :class:`PairwiseDistanceComputer`, never by diffing these shared
+    counters, so concurrent queries cannot contaminate each other's
+    stats.
     """
 
     def __init__(self, max_entries: Optional[int] = None) -> None:
@@ -180,17 +191,20 @@ class DistanceCache:
         self.max_entries = max_entries
         self._maps: "OrderedDict[CacheKey, Dict[int, float]]" = OrderedDict()
         self._entries = 0
+        self._lock = threading.Lock()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
 
     def __len__(self) -> int:
-        return len(self._maps)
+        with self._lock:
+            return len(self._maps)
 
     @property
     def entries(self) -> int:
         """Total ``(node, distance)`` pairs currently cached."""
-        return self._entries
+        with self._lock:
+            return self._entries
 
     def get(self, *keys: CacheKey):
         """First cached map among ``keys`` as ``(key, node_map)``.
@@ -199,48 +213,57 @@ class DistanceCache:
         counts as *one* lookup: one hit when any key is cached, one
         miss when none is.
         """
-        for key in keys:
-            node_map = self._maps.get(key)
-            if node_map is not None:
-                self._maps.move_to_end(key)
-                self.hits += 1
-                return key, node_map
-        self.misses += 1
-        return None
+        with self._lock:
+            for key in keys:
+                node_map = self._maps.get(key)
+                if node_map is not None:
+                    self._maps.move_to_end(key)
+                    self.hits += 1
+                    return key, node_map
+            self.misses += 1
+            return None
 
-    def put(self, key: CacheKey, node_map: Dict[int, float]) -> None:
-        old = self._maps.pop(key, None)
-        if old is not None:
-            self._entries -= len(old)
-        self._maps[key] = node_map
-        self._entries += len(node_map)
-        if self.max_entries is not None:
-            # Evict LRU maps until within budget; the newly inserted
-            # map always stays (an oversized map would otherwise make
-            # every future put a no-op).
-            while self._entries > self.max_entries and len(self._maps) > 1:
-                _, evicted = self._maps.popitem(last=False)
-                self._entries -= len(evicted)
-                self.evictions += 1
+    def put(self, key: CacheKey, node_map: Dict[int, float]) -> int:
+        """Insert a map; returns how many LRU maps were evicted."""
+        evicted_count = 0
+        with self._lock:
+            old = self._maps.pop(key, None)
+            if old is not None:
+                self._entries -= len(old)
+            self._maps[key] = node_map
+            self._entries += len(node_map)
+            if self.max_entries is not None:
+                # Evict LRU maps until within budget; the newly inserted
+                # map always stays (an oversized map would otherwise make
+                # every future put a no-op).
+                while self._entries > self.max_entries and len(self._maps) > 1:
+                    _, evicted = self._maps.popitem(last=False)
+                    self._entries -= len(evicted)
+                    self.evictions += 1
+                    evicted_count += 1
+        return evicted_count
 
     def clear(self) -> None:
         """Drop every cached map; counters keep their lifetime values."""
-        self._maps.clear()
-        self._entries = 0
+        with self._lock:
+            self._maps.clear()
+            self._entries = 0
 
     def counters_snapshot(self) -> Tuple[int, int, int]:
-        return (self.hits, self.misses, self.evictions)
+        with self._lock:
+            return (self.hits, self.misses, self.evictions)
 
     def stats(self) -> Dict[str, Optional[int]]:
         """A JSON-able view for metric records and reports."""
-        return {
-            "maps": len(self._maps),
-            "entries": self._entries,
-            "max_entries": self.max_entries,
-            "hits": self.hits,
-            "misses": self.misses,
-            "evictions": self.evictions,
-        }
+        with self._lock:
+            return {
+                "maps": len(self._maps),
+                "entries": self._entries,
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 class PairwiseDistanceComputer:
@@ -255,9 +278,14 @@ class PairwiseDistanceComputer:
 
     ``cache`` may be shared across computers (and therefore queries);
     when omitted a private unbounded cache reproduces the historic
-    per-query behaviour.  ``dijkstra_runs``/``dijkstra_seconds`` are
-    lifetime totals of *this computer*; callers that share a computer
-    across queries must snapshot and report deltas.
+    per-query behaviour.  ``dijkstra_runs``/``dijkstra_seconds`` and
+    the ``cache_hits``/``cache_misses``/``cache_evictions`` counters
+    are lifetime totals of *this computer* — counted locally, not read
+    off the (possibly shared) cache, so a computer owned by one query
+    reports that query's deltas even while other threads hammer the
+    same cache.  Callers that share a computer across queries must
+    snapshot and report deltas.  A computer itself is **not**
+    thread-safe; create one per query.
     """
 
     def __init__(
@@ -277,6 +305,9 @@ class PairwiseDistanceComputer:
         self.tracer = tracer
         self.dijkstra_runs = 0
         self.dijkstra_seconds = 0.0
+        self.cache_hits = 0
+        self.cache_misses = 0
+        self.cache_evictions = 0
 
     @property
     def cache(self) -> DistanceCache:
@@ -303,7 +334,7 @@ class PairwiseDistanceComputer:
                 source_edge=pos.edge_id, map_nodes=len(node_map),
                 cutoff=self._cutoff,
             )
-        self._cache.put(self._key(pos), node_map)
+        self.cache_evictions += self._cache.put(self._key(pos), node_map)
         return node_map
 
     def distance(self, a: NetworkPosition, b: NetworkPosition) -> float:
@@ -312,8 +343,14 @@ class PairwiseDistanceComputer:
             return abs(a.offset - b.offset)
         key_a = self._key(a)
         found = self._cache.get(key_a, self._key(b))
-        if found is not None and self.tracer.enabled:
-            self.tracer.event("pairwise.cache_hit", source_edge=found[0][0])
+        if found is not None:
+            self.cache_hits += 1
+            if self.tracer.enabled:
+                self.tracer.event(
+                    "pairwise.cache_hit", source_edge=found[0][0]
+                )
+        else:
+            self.cache_misses += 1
         if found is None:
             node_map, source, target = self._run_dijkstra(a), a, b
         elif found[0] == key_a:

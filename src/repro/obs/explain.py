@@ -284,9 +284,17 @@ def render_span_tree(root: Span) -> str:
 
 
 class ExplainReport:
-    """A query's span tree plus its result, with a text renderer."""
+    """A query's span tree plus its result, with a text renderer.
 
-    def __init__(self, trace: Optional[Span], result: Any = None) -> None:
+    ``plan`` optionally carries the executed
+    :class:`~repro.engine.plan.QueryPlan`; when present the rendered
+    report opens with the planner's description (algorithm choice,
+    cost hints, rationale) ahead of the span tree.
+    """
+
+    def __init__(
+        self, trace: Optional[Span], result: Any = None, plan: Any = None
+    ) -> None:
         if trace is None:
             raise ValueError(
                 "explain produced no trace — was the query executed with "
@@ -294,6 +302,7 @@ class ExplainReport:
             )
         self.trace = trace
         self.result = result
+        self.plan = plan
 
     # -- structured access (tests) ------------------------------------
     def spans(self, name: str) -> List[Span]:
@@ -328,7 +337,11 @@ class ExplainReport:
     # -- rendering -----------------------------------------------------
     def render(self) -> str:
         header = f"EXPLAIN  ({_ms(self.trace.duration)} total)"
-        return header + "\n" + render_span_tree(self.trace)
+        parts = [header]
+        if self.plan is not None:
+            parts.append(self.plan.describe())
+        parts.append(render_span_tree(self.trace))
+        return "\n".join(parts)
 
     def __str__(self) -> str:
         return self.render()

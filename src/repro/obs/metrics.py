@@ -24,6 +24,7 @@ per query, keeping the overhead well under the ~5 % budget.
 from __future__ import annotations
 
 import math
+import threading
 import time
 from contextlib import contextmanager
 from typing import Dict, List, Optional, Sequence
@@ -180,32 +181,44 @@ class StageClock:
 
 
 class MetricsRegistry:
-    """Named counters + histograms of one database, with record sinks."""
+    """Named counters + histograms of one database, with record sinks.
+
+    Thread-safe: recording (``inc``/``observe``/``emit``) and
+    creation/lookup run under one internal re-entrant lock, so queries
+    executing concurrently (``QueryEngine.execute_many``) never lose
+    increments or interleave sink writes.  Only a few dozen registry
+    calls happen per query, so the lock is off the hot path.
+    """
 
     def __init__(self) -> None:
         self._counters: Dict[str, Counter] = {}
         self._histograms: Dict[str, Histogram] = {}
         self._sinks: List = []
+        self._lock = threading.RLock()
 
     # -- creation / lookup --------------------------------------------
     def counter(self, name: str) -> Counter:
-        c = self._counters.get(name)
-        if c is None:
-            c = self._counters[name] = Counter(name)
-        return c
+        with self._lock:
+            c = self._counters.get(name)
+            if c is None:
+                c = self._counters[name] = Counter(name)
+            return c
 
     def histogram(self, name: str) -> Histogram:
-        h = self._histograms.get(name)
-        if h is None:
-            h = self._histograms[name] = Histogram(name)
-        return h
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(name)
+            return h
 
     # -- recording ----------------------------------------------------
     def inc(self, name: str, n: int = 1) -> None:
-        self.counter(name).inc(n)
+        with self._lock:
+            self.counter(name).inc(n)
 
     def observe(self, name: str, value: float) -> None:
-        self.histogram(name).observe(value)
+        with self._lock:
+            self.histogram(name).observe(value)
 
     def observe_stages(
         self, stages: Dict[str, float], prefix: str = "stage."
@@ -225,8 +238,9 @@ class MetricsRegistry:
 
     def emit(self, record: Dict) -> None:
         """Fan one record (a JSON-able dict) out to every sink."""
-        for sink in self._sinks:
-            sink.emit(record)
+        with self._lock:
+            for sink in self._sinks:
+                sink.emit(record)
 
     def close(self) -> None:
         """Close every attached sink.
@@ -256,10 +270,14 @@ class MetricsRegistry:
 
     # -- reporting ----------------------------------------------------
     def counters(self) -> Dict[str, int]:
-        return {name: c.value for name, c in sorted(self._counters.items())}
+        with self._lock:
+            return {
+                name: c.value for name, c in sorted(self._counters.items())
+            }
 
     def histograms(self) -> Dict[str, Histogram]:
-        return dict(self._histograms)
+        with self._lock:
+            return dict(self._histograms)
 
     def snapshot(self) -> Dict[str, Dict]:
         """One JSON-able dict of every counter and histogram summary.
@@ -269,14 +287,15 @@ class MetricsRegistry:
         in a workload report reads as a measurement rather than an
         absence.
         """
-        return {
-            "counters": self.counters(),
-            "histograms": {
-                name: h.summary()
-                for name, h in sorted(self._histograms.items())
-                if h.count
-            },
-        }
+        with self._lock:
+            return {
+                "counters": self.counters(),
+                "histograms": {
+                    name: h.summary()
+                    for name, h in sorted(self._histograms.items())
+                    if h.count
+                },
+            }
 
     def percentiles(
         self, name: str, ps: Sequence[float] = (50, 95, 99)

@@ -5,14 +5,33 @@ network dataset size".  Keys are ``(file_name, page_no)`` pairs shared
 across every structure of a database, so hot pages of the road network
 compete with inverted-file pages exactly as they would in one real
 buffer pool.
+
+Concurrency contract: the pool is shared by queries running on
+multiple threads, so every access runs under one internal lock — the
+LRU order book can never be observed mid-eviction and the lifetime
+hit/miss/eviction counters never lose increments.  Per-query eviction
+attribution uses per-thread scopes (:meth:`BufferPool.eviction_scope`);
+hits and misses are already attributed per query by the I/O layer
+(:meth:`repro.storage.iostats.IOStats.scoped`).
 """
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 from typing import Hashable, Tuple
 
 __all__ = ["BufferPool"]
+
+
+class _EvictionScope:
+    """Counts the evictions triggered by one thread's accesses."""
+
+    __slots__ = ("evictions",)
+
+    def __init__(self) -> None:
+        self.evictions = 0
 
 
 class BufferPool:
@@ -28,6 +47,8 @@ class BufferPool:
             raise ValueError("buffer capacity must be non-negative")
         self._capacity = capacity
         self._lru: "OrderedDict[Hashable, None]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._scopes = threading.local()
         #: Lifetime counters, sampled as per-query deltas by the
         #: metrics layer (plain ints keep the hot path allocation-free).
         self.hits = 0
@@ -44,6 +65,29 @@ class BufferPool:
     def __contains__(self, key: Hashable) -> bool:
         return key in self._lru
 
+    def _record_eviction(self) -> None:
+        self.evictions += 1
+        scope = getattr(self._scopes, "scope", None)
+        if scope is not None:
+            scope.evictions += 1
+
+    @contextmanager
+    def eviction_scope(self):
+        """Attribute evictions caused by this thread's accesses.
+
+        Yields an object whose ``evictions`` attribute counts only the
+        evictions this thread triggered while the scope was active —
+        the per-query delta, exact even when other threads evict
+        concurrently.  Scopes nest per thread (the innermost wins).
+        """
+        scope = _EvictionScope()
+        previous = getattr(self._scopes, "scope", None)
+        self._scopes.scope = scope
+        try:
+            yield scope
+        finally:
+            self._scopes.scope = previous
+
     def access(self, key: Tuple[str, int]) -> bool:
         """Touch a page; returns ``True`` on a buffer hit.
 
@@ -51,37 +95,41 @@ class BufferPool:
         is evicted if the pool is full.  A zero-capacity pool never
         hits (every access is a physical read).
         """
-        if self._capacity == 0:
+        with self._lock:
+            if self._capacity == 0:
+                self.misses += 1
+                return False
+            if key in self._lru:
+                self._lru.move_to_end(key)
+                self.hits += 1
+                return True
             self.misses += 1
+            self._lru[key] = None
+            if len(self._lru) > self._capacity:
+                self._lru.popitem(last=False)
+                self._record_eviction()
             return False
-        if key in self._lru:
-            self._lru.move_to_end(key)
-            self.hits += 1
-            return True
-        self.misses += 1
-        self._lru[key] = None
-        if len(self._lru) > self._capacity:
-            self._lru.popitem(last=False)
-            self.evictions += 1
-        return False
 
     def evict_file(self, file_name: str) -> None:
         """Evict every buffered page of one file (file drop)."""
-        stale = [k for k in self._lru if k[0] == file_name]
-        for key in stale:
-            del self._lru[key]
+        with self._lock:
+            stale = [k for k in self._lru if k[0] == file_name]
+            for key in stale:
+                del self._lru[key]
 
     def resize(self, capacity: int) -> None:
         if capacity < 0:
             raise ValueError("buffer capacity must be non-negative")
-        self._capacity = capacity
-        while len(self._lru) > self._capacity:
-            self._lru.popitem(last=False)
-            self.evictions += 1
+        with self._lock:
+            self._capacity = capacity
+            while len(self._lru) > self._capacity:
+                self._lru.popitem(last=False)
+                self._record_eviction()
 
     def clear(self) -> None:
         """Drop every page; lifetime hit/miss/eviction counters remain."""
-        self._lru.clear()
+        with self._lock:
+            self._lru.clear()
 
     def counters_snapshot(self) -> Tuple[int, int, int]:
         return (self.hits, self.misses, self.evictions)

@@ -5,11 +5,22 @@ disk accesses* next to response time.  Every page access in this
 library flows through an :class:`IOStats` instance so experiments can
 report logical reads, physical reads (buffer misses) and writes, broken
 down by category (road network, inverted file, R-tree, ...).
+
+Concurrency contract: one :class:`IOStats` is shared by every structure
+of a database, including queries running on multiple threads.  A query
+execution opens a per-thread *scope* (:meth:`IOStats.scoped`); reads
+and writes issued by that thread land in the scope, giving exact
+per-query I/O attribution without diffing shared counters, and are
+folded into the global totals (under a lock) when the scope closes.
+Threads without an active scope (index builds, loading) update the
+global counters directly.
 """
 
 from __future__ import annotations
 
+import threading
 from collections import Counter
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Dict
 
@@ -47,18 +58,57 @@ class IOStats:
     writes: int = 0
     buffer_hits: int = 0
     physical_by_category: Counter = field(default_factory=Counter)
+    _scopes: threading.local = field(
+        default_factory=threading.local, repr=False, compare=False
+    )
+    _merge_lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
+
+    def _target(self) -> "IOStats":
+        """Where this thread's increments land: its scope, or self."""
+        return getattr(self._scopes, "scope", None) or self
 
     def record_read(self, category: str, hit: bool) -> None:
         """Record one logical page read; ``hit`` marks a buffer hit."""
-        self.logical_reads += 1
+        target = self._target()
+        target.logical_reads += 1
         if hit:
-            self.buffer_hits += 1
+            target.buffer_hits += 1
         else:
-            self.physical_reads += 1
-            self.physical_by_category[category] += 1
+            target.physical_reads += 1
+            target.physical_by_category[category] += 1
 
     def record_write(self, category: str) -> None:
-        self.writes += 1
+        self._target().writes += 1
+
+    def absorb(self, other: "IOStats") -> None:
+        """Add another stats object's totals into this one."""
+        self.logical_reads += other.logical_reads
+        self.physical_reads += other.physical_reads
+        self.writes += other.writes
+        self.buffer_hits += other.buffer_hits
+        self.physical_by_category.update(other.physical_by_category)
+
+    @contextmanager
+    def scoped(self):
+        """Collect this thread's I/O into a fresh :class:`IOStats`.
+
+        Yields the scope; its counters are exact per-scope deltas.  On
+        exit the scope is folded into the global totals under a lock,
+        so concurrent scopes on other threads never lose increments.
+        Scopes nest per thread (inner scopes shadow outer ones and fold
+        into the globals, not the outer scope, on exit).
+        """
+        scope = IOStats()
+        previous = getattr(self._scopes, "scope", None)
+        self._scopes.scope = scope
+        try:
+            yield scope
+        finally:
+            self._scopes.scope = previous
+            with self._merge_lock:
+                self.absorb(scope)
 
     def snapshot(self) -> IOSnapshot:
         return IOSnapshot(

@@ -18,11 +18,14 @@ make warm-cache serving with a shared
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Sequence
 
 from ..core.database import Database
 from ..core.queries import DiversifiedSKQuery, QueryStats, SKQuery
+from ..engine.plan import plan_diversified, plan_sk
+from ..errors import QueryError
 from ..index.base import ObjectIndex
 
 __all__ = ["WorkloadReport", "run_sk_workload", "run_diversified_workload"]
@@ -59,6 +62,11 @@ class WorkloadReport:
     #: Queries whose network expansion the COM §4.3 bound cut short —
     #: the pruning the diversified-search figures are really measuring.
     total_early_terminations: int = 0
+    #: Thread-pool width the workload ran with (1 = serial).
+    workers: int = 1
+    #: End-to-end batch wall clock — with ``workers > 1`` this is what
+    #: shrinks while the per-query times above stay put.
+    wall_clock_seconds: float = 0.0
 
     def record(self, stats: QueryStats, num_results: int) -> None:
         """Absorb one query's stats into the aggregate."""
@@ -120,6 +128,13 @@ class WorkloadReport:
         lookups = self.total_distance_cache_hits + self.total_distance_cache_misses
         return self.total_distance_cache_hits / lookups if lookups else 0.0
 
+    @property
+    def qps(self) -> float:
+        """Batch throughput: queries per second of batch wall clock."""
+        if self.wall_clock_seconds <= 0.0:
+            return 0.0
+        return self.num_queries / self.wall_clock_seconds
+
     def percentile(self, p: float) -> float:
         """The ``p``-th percentile (0..100) of per-query response time."""
         if not self.latencies:
@@ -172,6 +187,9 @@ class WorkloadReport:
             row["early_term_pct"] = round(
                 100.0 * self.total_early_terminations / self.num_queries, 1
             )
+        if self.wall_clock_seconds > 0.0:
+            row["workers"] = self.workers
+            row["qps"] = round(self.qps, 1)
         for stage, ms in self.stage_breakdown_ms().items():
             row[f"{stage}_ms"] = ms
         return row
@@ -191,7 +209,32 @@ class WorkloadReport:
             "buffer_evictions": self.total_buffer_evictions,
             "pairwise_dijkstras": self.total_pairwise_dijkstras,
             "early_terminations": self.total_early_terminations,
+            "workers": self.workers,
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "qps": self.qps,
         }
+
+
+def _check_workers(workers: int, cold_buffer: bool) -> None:
+    if workers < 1:
+        raise QueryError("workers must be >= 1")
+    if workers > 1 and cold_buffer:
+        raise QueryError(
+            "cold_buffer clears the shared buffer pool between queries "
+            "and cannot be combined with workers > 1"
+        )
+
+
+def _run_plans(
+    db: Database, plans, report: WorkloadReport, workers: int
+) -> None:
+    """Execute the plans (serially or pooled) and fill the report."""
+    t0 = time.perf_counter()
+    results = db.engine.execute_many(plans, workers=workers)
+    report.wall_clock_seconds = time.perf_counter() - t0
+    report.workers = workers
+    for result in results:
+        report.record(result.stats, len(result))
 
 
 def run_sk_workload(
@@ -201,14 +244,29 @@ def run_sk_workload(
     label: str = "",
     io_latency: float = DEFAULT_IO_LATENCY,
     cold_buffer: bool = False,
+    workers: int = 1,
 ) -> WorkloadReport:
-    """Execute SK queries and aggregate the paper's metrics."""
+    """Execute SK queries and aggregate the paper's metrics.
+
+    ``workers > 1`` runs the batch on the query engine's thread pool;
+    results and aggregates match a serial run (see
+    :meth:`repro.engine.executor.QueryEngine.execute_many`), only the
+    report's batch wall clock (``qps``) changes.  Incompatible with
+    ``cold_buffer`` (which clears the shared pool between queries).
+    """
+    _check_workers(workers, cold_buffer)
     report = WorkloadReport(label=label or index.name, io_latency=io_latency)
-    for query in queries:
-        if cold_buffer:
-            db.disk.clear_buffer()
-        result = db.sk_search(index, query)
-        report.record(result.stats, len(result))
+    if workers > 1:
+        plans = [plan_sk(db, index, q) for q in queries]
+        _run_plans(db, plans, report, workers)
+    else:
+        t0 = time.perf_counter()
+        for query in queries:
+            if cold_buffer:
+                db.disk.clear_buffer()
+            result = db.sk_search(index, query)
+            report.record(result.stats, len(result))
+        report.wall_clock_seconds = time.perf_counter() - t0
     db.metrics.emit(report.summary_record())
     return report
 
@@ -222,6 +280,7 @@ def run_diversified_workload(
     io_latency: float = DEFAULT_IO_LATENCY,
     cold_buffer: bool = False,
     enable_pruning: bool = True,
+    workers: int = 1,
 ) -> WorkloadReport:
     """Execute diversified queries via SEQ or COM and aggregate metrics.
 
@@ -229,17 +288,30 @@ def run_diversified_workload(
     (``db.use_shared_distance_cache(...)``) to serve the workload
     warm: pairwise node maps then persist across queries and the
     report's ``cache_hit_pct`` / ``avg_dijkstras`` columns show the
-    saving.
+    saving.  The cache is thread-safe, so this composes with
+    ``workers > 1`` (see :func:`run_sk_workload`).
     """
+    _check_workers(workers, cold_buffer)
     report = WorkloadReport(
         label=label or f"{method.upper()}/{index.name}", io_latency=io_latency
     )
-    for query in queries:
-        if cold_buffer:
-            db.disk.clear_buffer()
-        result = db.diversified_search(
-            index, query, method=method, enable_pruning=enable_pruning
-        )
-        report.record(result.stats, len(result))
+    if workers > 1:
+        plans = [
+            plan_diversified(
+                db, index, q, method=method, enable_pruning=enable_pruning
+            )
+            for q in queries
+        ]
+        _run_plans(db, plans, report, workers)
+    else:
+        t0 = time.perf_counter()
+        for query in queries:
+            if cold_buffer:
+                db.disk.clear_buffer()
+            result = db.diversified_search(
+                index, query, method=method, enable_pruning=enable_pruning
+            )
+            report.record(result.stats, len(result))
+        report.wall_clock_seconds = time.perf_counter() - t0
     db.metrics.emit(report.summary_record())
     return report

@@ -63,4 +63,4 @@ class TestTrajectoryWriter:
     def test_default_is_repo_root_artifact(self, monkeypatch):
         monkeypatch.delenv("REPRO_BENCH_TRAJECTORY", raising=False)
         path = default_trajectory_path()
-        assert path.name == "BENCH_PR2.json"
+        assert path.name == "BENCH_PR3.json"

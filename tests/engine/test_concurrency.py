@@ -1,0 +1,185 @@
+"""Acceptance: concurrent execution returns serial results exactly.
+
+A 4-worker ``execute_many`` over a seeded workload must return, per
+query, the same object ids, the same network distances and the same
+diversification objective f(S) as the serial run — and the
+interleaving-invariant metrics totals must match.  Buffer-dependent
+numbers (physical vs buffered reads) legitimately vary with
+interleaving; their *sum* (logical reads) must not.
+"""
+
+import pytest
+
+from repro.engine import plan_diversified, plan_sk
+from repro.errors import QueryError
+from repro.network.distance import DistanceCache
+from repro.obs.metrics import MetricsRegistry
+from repro.workloads.queries import (
+    WorkloadConfig,
+    generate_diversified_queries,
+    generate_sk_queries,
+)
+from repro.workloads.runner import run_sk_workload
+
+#: Metrics that must be identical under any interleaving (per-query
+#: work is independent when every query owns its pairwise computer).
+INVARIANT_COUNTERS = (
+    "query.count",
+    "pairwise.dijkstra_runs",
+    "distance_cache.hits",
+    "distance_cache.misses",
+    "distance_cache.evictions",
+    "io.logical_reads",
+)
+
+
+class _ListSink:
+    def __init__(self):
+        self.records = []
+
+    def emit(self, record):
+        self.records.append(record)
+
+
+@pytest.fixture(scope="module")
+def sif(tiny_db):
+    return tiny_db.build_index("sif", file_prefix="conc-sif")
+
+
+@pytest.fixture(scope="module")
+def div_queries(tiny_db):
+    return generate_diversified_queries(
+        tiny_db, WorkloadConfig(num_queries=12, num_keywords=2, k=5, seed=91)
+    )
+
+
+def _div_fingerprint(results):
+    return [
+        (
+            [(it.object.object_id, it.distance) for it in r.items],
+            r.objective_value,
+        )
+        for r in results
+    ]
+
+
+def _run_batch(db, plans, workers, cache=None):
+    """Run the batch under a fresh metrics registry; return everything."""
+    saved_metrics, saved_cache = db.metrics, db.distance_cache
+    sink = _ListSink()
+    try:
+        db.metrics = MetricsRegistry()
+        db.metrics.add_sink(sink)
+        db.distance_cache = cache
+        results = db.engine.execute_many(plans, workers=workers)
+        return results, db.metrics.counters(), sink.records
+    finally:
+        db.metrics, db.distance_cache = saved_metrics, saved_cache
+
+
+class TestConcurrentDeterminism:
+    def test_diversified_batch_matches_serial(self, tiny_db, sif, div_queries):
+        plans = [
+            plan_diversified(tiny_db, sif, q, method="com")
+            for q in div_queries
+        ]
+        loads0 = sif.lifetime_counters.objects_loaded
+        serial, serial_counters, _ = _run_batch(tiny_db, plans, workers=1)
+        serial_loads = sif.lifetime_counters.objects_loaded - loads0
+        loads1 = sif.lifetime_counters.objects_loaded
+        concurrent, conc_counters, records = _run_batch(
+            tiny_db, plans, workers=4
+        )
+        concurrent_loads = sif.lifetime_counters.objects_loaded - loads1
+
+        # Same answers: ids, distances, f(S), in plan order.
+        assert _div_fingerprint(concurrent) == _div_fingerprint(serial)
+        assert any(len(r.items) > 0 for r in serial)
+
+        # Interleaving-invariant metrics totals match exactly.
+        for name in INVARIANT_COUNTERS:
+            assert conc_counters.get(name, 0) == serial_counters.get(name, 0), name
+        assert conc_counters["query.count"] == len(div_queries)
+        # The buffer split may move, but reads are never lost.
+        for counters in (serial_counters, conc_counters):
+            assert counters["io.logical_reads"] == (
+                counters["io.physical_reads"] + counters["io.buffer_hits"]
+            )
+        # Index lifetime counters absorb the same work either way.
+        assert concurrent_loads == serial_loads
+
+        # Satellite: every emitted record carries the plan label.
+        query_records = [r for r in records if r["type"] == "query"]
+        assert len(query_records) == len(div_queries)
+        assert {r["label"] for r in query_records} == {f"{sif.name}/COM"}
+        assert {r["kind"] for r in query_records} == {"diversified/com"}
+
+    def test_shared_cache_keeps_answers_identical(
+        self, tiny_db, sif, div_queries
+    ):
+        plans = [
+            plan_diversified(tiny_db, sif, q, method="seq")
+            for q in div_queries
+        ]
+        serial, _, _ = _run_batch(
+            tiny_db, plans, workers=1, cache=DistanceCache(max_entries=50_000)
+        )
+        concurrent, conc_counters, _ = _run_batch(
+            tiny_db, plans, workers=4, cache=DistanceCache(max_entries=50_000)
+        )
+        # Cache hit/miss totals may shift with interleaving; answers not.
+        assert _div_fingerprint(concurrent) == _div_fingerprint(serial)
+        assert conc_counters["query.count"] == len(div_queries)
+
+    def test_mixed_kind_batch(self, tiny_db, sif, div_queries):
+        sk_queries = generate_sk_queries(
+            tiny_db, WorkloadConfig(num_queries=6, num_keywords=2, seed=92)
+        )
+        plans = [plan_sk(tiny_db, sif, q) for q in sk_queries] + [
+            plan_diversified(tiny_db, sif, q, method="com")
+            for q in div_queries[:6]
+        ]
+        serial, serial_counters, _ = _run_batch(tiny_db, plans, workers=1)
+        concurrent, conc_counters, records = _run_batch(
+            tiny_db, plans, workers=3
+        )
+        sk_fp = lambda rs: [  # noqa: E731 — local helper
+            [(it.object.object_id, it.distance) for it in r.items] for r in rs
+        ]
+        assert sk_fp(concurrent[:6]) == sk_fp(serial[:6])
+        assert _div_fingerprint(concurrent[6:]) == _div_fingerprint(serial[6:])
+        for name in INVARIANT_COUNTERS:
+            assert conc_counters.get(name, 0) == serial_counters.get(name, 0), name
+        labels = {r["label"] for r in records if r["type"] == "query"}
+        assert labels == {f"{sif.name}/INE", f"{sif.name}/COM"}
+
+
+class TestRunnerWorkers:
+    def test_workload_report_matches_serial(self, tiny_db, sif):
+        queries = generate_sk_queries(
+            tiny_db, WorkloadConfig(num_queries=8, num_keywords=2, seed=93)
+        )
+        serial = run_sk_workload(tiny_db, sif, queries, label="serial")
+        pooled = run_sk_workload(
+            tiny_db, sif, queries, label="pooled", workers=4
+        )
+        assert pooled.total_results == serial.total_results
+        assert pooled.total_candidates == serial.total_candidates
+        assert pooled.total_objects_loaded == serial.total_objects_loaded
+        assert pooled.workers == 4 and serial.workers == 1
+        assert pooled.qps > 0 and serial.qps > 0
+        row = pooled.row()
+        assert row["workers"] == 4 and row["qps"] == round(pooled.qps, 1)
+
+    def test_workers_validation(self, tiny_db, sif):
+        queries = generate_sk_queries(
+            tiny_db, WorkloadConfig(num_queries=2, num_keywords=2, seed=94)
+        )
+        with pytest.raises(QueryError):
+            run_sk_workload(tiny_db, sif, queries, workers=0)
+        with pytest.raises(QueryError):
+            run_sk_workload(
+                tiny_db, sif, queries, workers=2, cold_buffer=True
+            )
+        with pytest.raises(QueryError):
+            tiny_db.engine.execute_many([], workers=0)

@@ -1,0 +1,90 @@
+"""ExecutionContext: per-query state ownership and lifetime merges."""
+
+import pytest
+
+from repro.core.ine import INEExpansion
+from repro.core.queries import QueryStats
+from repro.engine import ExecutionContext, plan_sk
+from repro.workloads.queries import WorkloadConfig, generate_sk_queries
+
+
+@pytest.fixture(scope="module")
+def sif(tiny_db):
+    return tiny_db.build_index("sif", file_prefix="context-sif")
+
+
+@pytest.fixture(scope="module")
+def query(tiny_db):
+    return generate_sk_queries(
+        tiny_db, WorkloadConfig(num_queries=1, num_keywords=1, seed=19)
+    )[0]
+
+
+def _run_expansion(db, index, query):
+    expansion = INEExpansion(
+        db.ccam, db.network, index, query.position, query.terms,
+        query.delta_max,
+    )
+    return expansion.run_to_completion()
+
+
+class TestStateRouting:
+    def test_context_owns_counters_and_io(self, tiny_db, sif, query):
+        plan = plan_sk(tiny_db, sif, query)
+        loads_before = sif.lifetime_counters.objects_loaded
+        global_reads_before = tiny_db.disk.stats.snapshot().logical_reads
+
+        with ExecutionContext(tiny_db, plan) as ctx:
+            # The index routes this thread's counters into the context.
+            assert sif.counters is ctx.counters
+            _run_expansion(tiny_db, sif, query)
+            assert ctx.io_scope.logical_reads > 0
+            # Shared lifetime state is untouched while the query runs.
+            assert sif.lifetime_counters.objects_loaded == loads_before
+            per_query_loads = ctx.counters.objects_loaded
+            per_query_reads = ctx.io_scope.logical_reads
+
+        # On exit the execution's work is folded into the lifetime totals.
+        assert sif.counters is sif.lifetime_counters
+        assert sif.lifetime_counters.objects_loaded == (
+            loads_before + per_query_loads
+        )
+        assert tiny_db.disk.stats.snapshot().logical_reads == (
+            global_reads_before + per_query_reads
+        )
+
+    def test_finalise_fills_stats_from_context(self, tiny_db, sif, query):
+        plan = plan_sk(tiny_db, sif, query)
+        with ExecutionContext(tiny_db, plan) as ctx:
+            _run_expansion(tiny_db, sif, query)
+            stats = QueryStats()
+            ctx.finalise(stats)
+            assert stats.io.logical_reads == ctx.io_scope.logical_reads
+            assert stats.objects_loaded == ctx.counters.objects_loaded
+            assert stats.false_hit_objects == ctx.counters.false_hit_objects
+            assert stats.buffer_evictions == ctx.buffer_scope.evictions
+            assert "signature" in stats.stage_seconds
+
+    def test_finalise_outside_context_raises(self, tiny_db, sif, query):
+        ctx = ExecutionContext(tiny_db, plan_sk(tiny_db, sif, query))
+        with pytest.raises(RuntimeError):
+            ctx.finalise(QueryStats())
+
+
+class TestExceptionSafety:
+    def test_slot_popped_when_query_raises(self, tiny_db, sif, query):
+        plan = plan_sk(tiny_db, sif, query)
+        with pytest.raises(RuntimeError, match="boom"):
+            with ExecutionContext(tiny_db, plan):
+                assert sif.counters is not sif.lifetime_counters
+                raise RuntimeError("boom")
+        # The thread-local slot is gone; reads resolve to lifetime state.
+        assert sif.counters is sif.lifetime_counters
+
+    def test_contexts_nest_per_thread(self, tiny_db, sif, query):
+        plan = plan_sk(tiny_db, sif, query)
+        with ExecutionContext(tiny_db, plan) as outer:
+            with ExecutionContext(tiny_db, plan) as inner:
+                assert sif.counters is inner.counters
+            assert sif.counters is outer.counters
+        assert sif.counters is sif.lifetime_counters
