@@ -1,0 +1,179 @@
+"""Compare two benchmark trajectory artifacts; flag regressions.
+
+``repro bench compare OLD.json NEW.json --fail-on-regression 20``
+reads two ``repro-bench-trajectory/v1`` documents (the committed
+``BENCH_PR*.json`` baselines) and diffs each figure's *headline* —
+the per-column means :class:`~repro.bench.trajectory.TrajectoryWriter`
+records.  Every metric has a direction:
+
+* **higher is worse** — latencies (``*_ms``), I/O (``avg_io``),
+  Dijkstra counts, build times;
+* **higher is better** — throughput (``qps``), speedups, cache-hit and
+  early-termination percentages;
+* everything else (parameters like ``k``, ``workers``, dataset sizes)
+  is context, not a metric, and is never flagged.
+
+A metric that moved in its worse direction by at least the threshold
+percentage is a *regression*; moved the other way, an *improvement*.
+:func:`compare_trajectories` returns every delta so callers can render
+the full table; the CLI exits non-zero when regressions exist and
+``--fail-on-regression`` was given.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Union
+
+__all__ = [
+    "MetricDelta",
+    "compare_trajectories",
+    "load_trajectory",
+    "render_comparison",
+]
+
+SCHEMA = "repro-bench-trajectory/v1"
+
+#: Column-name suffixes/names whose *increase* is a slowdown.
+_HIGHER_WORSE_SUFFIXES = ("_ms", "_s", "_seconds")
+_HIGHER_WORSE_NAMES = {
+    "avg_io", "avg_dijkstras", "avg_candidates", "pairwise_dijkstras",
+    "physical_reads", "logical_reads", "buffer_evictions", "io_pages",
+}
+#: Columns whose *decrease* is the slowdown.
+_HIGHER_BETTER_NAMES = {"qps", "speedup", "cache_hit_pct", "early_term_pct"}
+_HIGHER_BETTER_SUFFIXES = ("_qps", "_speedup", "_hit_pct")
+
+
+def metric_direction(name: str) -> Optional[str]:
+    """``"higher_worse"``, ``"higher_better"`` or ``None`` (context)."""
+    if name in _HIGHER_WORSE_NAMES or name.endswith(_HIGHER_WORSE_SUFFIXES):
+        return "higher_worse"
+    if name in _HIGHER_BETTER_NAMES or name.endswith(_HIGHER_BETTER_SUFFIXES):
+        return "higher_better"
+    return None
+
+
+class MetricDelta:
+    """One headline metric's movement between two artifacts."""
+
+    __slots__ = (
+        "figure", "metric", "direction", "old", "new", "change_pct",
+    )
+
+    def __init__(
+        self,
+        figure: str,
+        metric: str,
+        direction: str,
+        old: float,
+        new: float,
+    ) -> None:
+        self.figure = figure
+        self.metric = metric
+        self.direction = direction
+        self.old = old
+        self.new = new
+        #: Signed percentage change relative to the old value; positive
+        #: means the metric moved in its *worse* direction.
+        if old == 0:
+            raw = float("inf") if new != 0 else 0.0
+        else:
+            raw = (new - old) / abs(old) * 100.0
+        self.change_pct = raw if direction == "higher_worse" else -raw
+
+    def is_regression(self, threshold_pct: float) -> bool:
+        return self.change_pct >= threshold_pct
+
+    def is_improvement(self, threshold_pct: float) -> bool:
+        return self.change_pct <= -threshold_pct
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "figure": self.figure,
+            "metric": self.metric,
+            "direction": self.direction,
+            "old": self.old,
+            "new": self.new,
+            "worse_pct": round(self.change_pct, 3)
+            if self.change_pct == self.change_pct
+            and abs(self.change_pct) != float("inf")
+            else self.change_pct,
+        }
+
+
+def load_trajectory(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and schema-check one trajectory artifact."""
+    path = Path(path)
+    with path.open(encoding="utf-8") as fh:
+        document = json.load(fh)
+    if not isinstance(document, dict) or document.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path} is not a {SCHEMA} document "
+            f"(schema={document.get('schema') if isinstance(document, dict) else None!r})"
+        )
+    return document
+
+
+def compare_trajectories(
+    old: Dict[str, Any], new: Dict[str, Any]
+) -> List[MetricDelta]:
+    """Headline deltas for every figure+metric present in *both* docs.
+
+    Figures or metrics present on only one side are skipped — a new
+    benchmark is not a regression and a removed one cannot be judged.
+    Comparisons across different ``bench_scale`` values are allowed
+    (the caller sees both scales in the documents) but per-figure
+    numbers only mean anything at matching scale.
+    """
+    deltas: List[MetricDelta] = []
+    old_figures = old.get("figures", {})
+    new_figures = new.get("figures", {})
+    for slug in sorted(set(old_figures) & set(new_figures)):
+        old_headline = old_figures[slug].get("headline", {})
+        new_headline = new_figures[slug].get("headline", {})
+        for metric in sorted(set(old_headline) & set(new_headline)):
+            direction = metric_direction(metric)
+            if direction is None:
+                continue
+            old_value = old_headline[metric]
+            new_value = new_headline[metric]
+            if not isinstance(old_value, (int, float)) or not isinstance(
+                new_value, (int, float)
+            ):
+                continue
+            deltas.append(
+                MetricDelta(slug, metric, direction, float(old_value), float(new_value))
+            )
+    return deltas
+
+
+def render_comparison(
+    deltas: List[MetricDelta], threshold_pct: float
+) -> str:
+    """Human-readable comparison: regressions, improvements, counts."""
+    regressions = [d for d in deltas if d.is_regression(threshold_pct)]
+    improvements = [d for d in deltas if d.is_improvement(threshold_pct)]
+    lines: List[str] = [
+        f"compared {len(deltas)} headline metrics "
+        f"(threshold {threshold_pct:g}%): "
+        f"{len(regressions)} regression(s), "
+        f"{len(improvements)} improvement(s)"
+    ]
+
+    def _fmt(delta: MetricDelta, tag: str) -> str:
+        arrow = "↑" if delta.new >= delta.old else "↓"
+        return (
+            f"  {tag}  {delta.figure}.{delta.metric}: "
+            f"{delta.old:g} → {delta.new:g} {arrow} "
+            f"({delta.change_pct:+.1f}% worse-direction)"
+        )
+
+    for delta in sorted(regressions, key=lambda d: -d.change_pct):
+        lines.append(_fmt(delta, "REGRESSION"))
+    for delta in sorted(improvements, key=lambda d: d.change_pct):
+        lines.append(_fmt(delta, "improved  "))
+    if not regressions and not improvements:
+        lines.append(f"  no metric moved by ≥ {threshold_pct:g}%")
+    return "\n".join(lines)

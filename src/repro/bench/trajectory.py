@@ -5,11 +5,15 @@ Every benchmark run prints per-figure tables and saves CSVs under
 across PRs or attaching to CI.  :class:`TrajectoryWriter` collects the
 same rows the figures print and serialises them (plus run context:
 dataset scale, python version) into a single JSON document, by default
-``BENCH_PR3.json`` at the repository root.
+``BENCH_PR4.json`` at the repository root.
 
 The benchmark conftest hooks this in transparently: every table that
 goes through the ``show`` fixture is recorded, and the file is written
-once at session end.  ``REPRO_BENCH_TRAJECTORY`` overrides the output
+once at session end.  Writes **merge** into an existing artifact of
+the same schema: a partial run (``pytest benchmarks -k fig6``)
+refreshes the figures it produced and keeps the rest, so the artifact
+converges to full coverage instead of being clobbered down to whatever
+the last subset ran.  ``REPRO_BENCH_TRAJECTORY`` overrides the output
 path; setting it to ``0``/``off`` disables the artifact.
 """
 
@@ -28,7 +32,7 @@ __all__ = ["TrajectoryWriter", "default_trajectory_path"]
 
 #: Current artifact name; bumped per PR so stacked PRs keep their own
 #: benchmark baselines side by side.
-DEFAULT_FILENAME = "BENCH_PR3.json"
+DEFAULT_FILENAME = "BENCH_PR4.json"
 
 _DISABLED = {"0", "off", "none", "false"}
 
@@ -90,16 +94,30 @@ class TrajectoryWriter:
         }
 
     def write(self) -> Optional[Path]:
-        """Serialise everything recorded; no-op when nothing was."""
+        """Serialise everything recorded; no-op when nothing was.
+
+        Figures already present in an existing artifact (same schema)
+        are preserved unless this run re-recorded them — partial runs
+        extend the trajectory rather than truncating it.
+        """
         if self.path is None or not self._figures:
             return None
+        figures: Dict[str, Dict[str, object]] = {}
+        existing = self.load()
+        if (
+            isinstance(existing, dict)
+            and existing.get("schema") == "repro-bench-trajectory/v1"
+            and isinstance(existing.get("figures"), dict)
+        ):
+            figures.update(existing["figures"])
+        figures.update(self._figures)
         document = {
             "schema": "repro-bench-trajectory/v1",
             "artifact": self.path.name,
             "generated_unix": round(time.time(), 3),
             "python": platform.python_version(),
             "bench_scale": os.environ.get("REPRO_BENCH_SCALE", "1.0"),
-            "figures": self._figures,
+            "figures": figures,
         }
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("w", encoding="utf-8") as fh:

@@ -8,6 +8,8 @@ Commands
 ``diversify`` run a diversified workload (SEQ and COM) and print both
 ``compare``   run one workload against every index kind (mini Fig. 6)
 ``explain``   run ONE query under tracing and print its pruning report
+``slowlog``   render a persisted slow-query log (JSON lines) as text
+``bench``     benchmark artifact tools (``bench compare OLD NEW``)
 
 The workload commands accept ``--metrics <path>`` to stream one JSON
 record per query (latency, stage breakdown, cache/buffer deltas) plus
@@ -16,9 +18,16 @@ and ``diversify`` accepts ``--distance-cache <entries>`` to serve the
 workload through a shared bounded distance cache.
 
 Observability exports: ``--trace <path>`` records per-query span trees
-for the whole run and writes Chrome trace-event JSON (load it at
-https://ui.perfetto.dev); ``--prom <path>`` writes a Prometheus text
-exposition of the final metrics registry.
+for the whole run — including concurrent runs with ``--workers N``,
+which merge into one Chrome trace with a lane per worker — and writes
+Chrome trace-event JSON (load it at https://ui.perfetto.dev);
+``--prom <path>`` writes a Prometheus text exposition of the final
+metrics registry plus point-in-time cache/buffer gauges.  Slow-query
+capture: ``--slow-ms`` / ``--slow-nodes`` set the thresholds,
+``--slowlog <path>`` persists the captured records as JSON lines
+(``repro slowlog <path>`` renders them).  ``--slo <spec.json>``
+evaluates a declarative SLO spec against the final registry snapshot
+and fails the command when an objective is violated.
 """
 
 from __future__ import annotations
@@ -88,8 +97,8 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--workers", type=_positive_int, default=1, metavar="N",
             help="run the workload on N query-engine threads "
-                 "(default 1 = serial); per-query tracing is disabled "
-                 "when N > 1",
+                 "(default 1 = serial); tracing and the slow-query log "
+                 "compose with concurrency",
         )
         p.add_argument(
             "--metrics", metavar="PATH", default=None, type=_output_path,
@@ -103,7 +112,28 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument(
             "--prom", metavar="PATH", default=None, type=_output_path,
             help="write a Prometheus text exposition of the final "
-                 "metrics registry to PATH",
+                 "metrics registry (plus cache/buffer gauges) to PATH",
+        )
+        p.add_argument(
+            "--slow-ms", type=float, default=None, metavar="MS",
+            help="capture queries whose wall time reaches MS "
+                 "milliseconds in the slow-query log",
+        )
+        p.add_argument(
+            "--slow-nodes", type=_positive_int, default=None, metavar="N",
+            help="capture queries whose expansion visited at least N "
+                 "network nodes in the slow-query log",
+        )
+        p.add_argument(
+            "--slowlog", metavar="PATH", default=None, type=_output_path,
+            help="persist captured slow queries as JSON lines to PATH "
+                 "(with no --slow-ms/--slow-nodes, captures every "
+                 "query); render with `repro slowlog PATH`",
+        )
+        p.add_argument(
+            "--slo", metavar="SPEC", default=None,
+            help="evaluate the SLO spec (JSON) against the final "
+                 "metrics snapshot; exit non-zero on violation",
         )
 
     p = sub.add_parser("info", help="dataset statistics")
@@ -163,6 +193,44 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace", metavar="PATH", default=None, type=_output_path,
         help="also write the span tree as Chrome trace-event JSON",
     )
+    p.add_argument(
+        "--slow-ms", type=float, default=None, metavar="MS",
+        help="judge the query against an MS-millisecond latency "
+             "threshold (adds a SLOW/OK verdict to the report)",
+    )
+    p.add_argument(
+        "--slow-nodes", type=_positive_int, default=None, metavar="N",
+        help="judge the query against an N-visited-nodes threshold",
+    )
+
+    p = sub.add_parser(
+        "slowlog",
+        help="render a persisted slow-query log (JSON lines) as text",
+    )
+    p.add_argument("path", help="JSON-lines file written by --slowlog")
+    p.add_argument(
+        "--limit", type=_positive_int, default=None, metavar="N",
+        help="render only the last N records",
+    )
+
+    p = sub.add_parser("bench", help="benchmark artifact tools")
+    bench_sub = p.add_subparsers(dest="bench_command", required=True)
+    p = bench_sub.add_parser(
+        "compare",
+        help="diff two trajectory artifacts; flag headline regressions",
+    )
+    p.add_argument("old", help="baseline BENCH_*.json")
+    p.add_argument("new", help="candidate BENCH_*.json")
+    p.add_argument(
+        "--fail-on-regression", type=float, default=None, metavar="PCT",
+        help="exit non-zero when any headline metric moved in its "
+             "worse direction by at least PCT percent",
+    )
+    p.add_argument(
+        "--threshold", type=float, default=10.0, metavar="PCT",
+        help="report-only movement threshold when --fail-on-regression "
+             "is not given (default 10)",
+    )
 
     return parser
 
@@ -218,12 +286,70 @@ def _close_metrics_sink(db, sink, error: bool = False) -> None:
 
 
 def _enable_tracing(db, args) -> None:
-    """Switch tracing on when any trace export was requested."""
+    """Switch tracing on when any trace export was requested.
+
+    Tracing is concurrency-native: each query draws its own tracer
+    from the collector, so ``--trace`` composes with ``--workers N``.
+    """
     if getattr(args, "trace", None):
-        if getattr(args, "workers", 1) > 1:
-            print("warning: --trace is ignored with --workers > 1 "
-                  "(the tracer is serial-only)", file=sys.stderr)
         db.enable_tracing(max_traces=max(64, getattr(args, "queries", 64)))
+
+
+def _enable_slow_log(db, args) -> None:
+    """Install the slow-query log when capture was requested.
+
+    ``--slowlog`` with neither threshold captures *every* query (a
+    zero-latency threshold) — the deterministic smoke-test mode.
+    """
+    slow_ms = getattr(args, "slow_ms", None)
+    slow_nodes = getattr(args, "slow_nodes", None)
+    slowlog_path = getattr(args, "slowlog", None)
+    if slow_ms is None and slow_nodes is None and slowlog_path is None:
+        return
+    latency = slow_ms / 1e3 if slow_ms is not None else None
+    if latency is None and slow_nodes is None:
+        latency = 0.0
+    db.enable_slow_query_log(
+        latency_seconds=latency,
+        visited_nodes=slow_nodes,
+        path=slowlog_path,
+    )
+
+
+def _report_slow_log(db) -> None:
+    log = db.slow_query_log
+    if log is None:
+        return
+    summary = log.summary()
+    line = (f"Slow-query log: captured {summary['captured']} of "
+            f"{summary['observed']} queries")
+    if log.path is not None:
+        line += f" → {log.path}"
+    print(line, file=sys.stderr)
+    db.disable_slow_query_log()
+
+
+def _check_slo(db, args) -> int:
+    """Evaluate ``--slo`` (when given); the command's exit code."""
+    spec_path = getattr(args, "slo", None)
+    if not spec_path:
+        return 0
+    import json
+
+    from .obs.slo import SLOSpec
+
+    with open(spec_path, encoding="utf-8") as fh:
+        spec = SLOSpec.from_dict(json.load(fh))
+    checks = spec.evaluate(db.metrics.snapshot())
+    print(f"SLO {spec.name}:")
+    for check in checks:
+        print(f"  {check.render()}")
+    failed = [c for c in checks if not c.passed]
+    if failed:
+        print(f"SLO VIOLATED: {len(failed)} of {len(checks)} objectives "
+              "failed", file=sys.stderr)
+        return 1
+    return 0
 
 
 def _write_observability(db, args) -> None:
@@ -232,15 +358,18 @@ def _write_observability(db, args) -> None:
     if trace_path:
         from .obs.export import write_chrome_trace
 
-        write_chrome_trace(trace_path, db.tracer)
-        n = len(db.tracer.traces)
-        print(f"Wrote {n} query traces to {trace_path} "
-              "(load at https://ui.perfetto.dev)", file=sys.stderr)
+        collector = db.trace_collector
+        write_chrome_trace(trace_path, collector)
+        n = len(collector.records)
+        lanes = len(collector.workers)
+        print(f"Wrote {n} query traces ({lanes} worker lane(s)) to "
+              f"{trace_path} (load at https://ui.perfetto.dev)",
+              file=sys.stderr)
     prom_path = getattr(args, "prom", None)
     if prom_path:
-        from .obs.export import write_prometheus
+        from .obs.export import database_gauges, write_prometheus
 
-        write_prometheus(prom_path, db.metrics)
+        write_prometheus(prom_path, db.metrics, gauges=database_gauges(db))
         print(f"Wrote Prometheus exposition to {prom_path}", file=sys.stderr)
 
 
@@ -262,22 +391,26 @@ def main(argv: Optional[List[str]] = None) -> int:
         db = _build_db(args)
         sink = _attach_metrics_sink(db, args)
         _enable_tracing(db, args)
+        _enable_slow_log(db, args)
         try:
             index = db.build_index(args.index)
             queries = generate_sk_queries(db, _config(args))
             report = run_sk_workload(db, index, queries, workers=args.workers)
             print_table([report.row()], f"SK workload on {args.profile}")
             _write_observability(db, args)
+            _report_slow_log(db)
+            rc = _check_slo(db, args)
         except BaseException:
             _close_metrics_sink(db, sink, error=True)
             raise
         _close_metrics_sink(db, sink)
-        return 0
+        return rc
 
     if args.command == "diversify":
         db = _build_db(args)
         sink = _attach_metrics_sink(db, args)
         _enable_tracing(db, args)
+        _enable_slow_log(db, args)
         try:
             if args.distance_cache is not None:
                 db.use_shared_distance_cache(max_entries=args.distance_cache)
@@ -300,16 +433,19 @@ def main(argv: Optional[List[str]] = None) -> int:
                 print(f"Shared distance cache: {db.distance_cache.stats()}",
                       file=sys.stderr)
             _write_observability(db, args)
+            _report_slow_log(db)
+            rc = _check_slo(db, args)
         except BaseException:
             _close_metrics_sink(db, sink, error=True)
             raise
         _close_metrics_sink(db, sink)
-        return 0
+        return rc
 
     if args.command == "compare":
         db = _build_db(args)
         sink = _attach_metrics_sink(db, args)
         _enable_tracing(db, args)
+        _enable_slow_log(db, args)
         try:
             queries = generate_sk_queries(db, _config(args))
             rows = []
@@ -325,11 +461,13 @@ def main(argv: Optional[List[str]] = None) -> int:
                 rows.append(row)
             print_table(rows, f"Index comparison on {args.profile}")
             _write_observability(db, args)
+            _report_slow_log(db)
+            rc = _check_slo(db, args)
         except BaseException:
             _close_metrics_sink(db, sink, error=True)
             raise
         _close_metrics_sink(db, sink)
-        return 0
+        return rc
 
     if args.command == "explain":
         db = _build_db(args)
@@ -346,10 +484,21 @@ def main(argv: Optional[List[str]] = None) -> int:
             query = generate_sk_queries(db, config)[args.query]
         else:
             query = generate_diversified_queries(db, config)[args.query]
+        slow_threshold = None
+        if args.slow_ms is not None or args.slow_nodes is not None:
+            from .obs.slowlog import SlowQueryThreshold
+
+            slow_threshold = SlowQueryThreshold(
+                latency_seconds=(
+                    args.slow_ms / 1e3 if args.slow_ms is not None else None
+                ),
+                visited_nodes=args.slow_nodes,
+            )
         report = db.explain(
             index, query,
             method=args.method if args.method != "sk" else "com",
             enable_pruning=not args.no_pruning,
+            slow_threshold=slow_threshold,
         )
         print(report.render())
         if args.trace:
@@ -358,6 +507,63 @@ def main(argv: Optional[List[str]] = None) -> int:
             write_chrome_trace(args.trace, [report.trace])
             print(f"Wrote the trace to {args.trace} "
                   "(load at https://ui.perfetto.dev)", file=sys.stderr)
+        return 0
+
+    if args.command == "slowlog":
+        import json
+
+        from .obs.slowlog import render_record
+
+        path = Path(args.path)
+        if not path.exists():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 1
+        records = []
+        with path.open(encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if not line:
+                    continue
+                record = json.loads(line)
+                if record.get("type") == "slow_query":
+                    records.append(record)
+        if args.limit is not None:
+            records = records[-args.limit:]
+        if not records:
+            print("no slow-query records found")
+            return 0
+        for record in records:
+            print(render_record(record))
+            print()
+        print(f"{len(records)} slow quer{'y' if len(records) == 1 else 'ies'} "
+              f"rendered from {path}", file=sys.stderr)
+        return 0
+
+    if args.command == "bench" and args.bench_command == "compare":
+        from .bench.compare import (
+            compare_trajectories,
+            load_trajectory,
+            render_comparison,
+        )
+
+        try:
+            old_doc = load_trajectory(args.old)
+            new_doc = load_trajectory(args.new)
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        deltas = compare_trajectories(old_doc, new_doc)
+        threshold = (
+            args.fail_on_regression
+            if args.fail_on_regression is not None
+            else args.threshold
+        )
+        print(render_comparison(deltas, threshold))
+        if args.fail_on_regression is not None and any(
+            d.is_regression(args.fail_on_regression) for d in deltas
+        ):
+            print("benchmark regression gate FAILED", file=sys.stderr)
+            return 1
         return 0
 
     return 1  # pragma: no cover — argparse enforces the choices

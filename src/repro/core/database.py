@@ -33,7 +33,8 @@ from ..network.ccam import CCAMStore
 from ..network.distance import DistanceCache
 from ..network.graph import NetworkPosition, RoadNetwork
 from ..obs.metrics import MetricsRegistry
-from ..obs.tracing import NULL_TRACER, Tracer
+from ..obs.slowlog import SlowQueryLog, SlowQueryThreshold
+from ..obs.tracing import NULL_TRACER, TraceCollector, Tracer
 from ..network.objects import ObjectStore, SpatioTextualObject, build_edge_rtree, snap_point_to_edge
 from ..spatial.geometry import Point
 from ..spatial.kdtree import KDTreePartition
@@ -84,6 +85,14 @@ class Database:
         self.curve = curve or ZOrderCurve()
         self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.tracer = tracer if tracer is not None else NULL_TRACER
+        #: Installed by :meth:`enable_tracing`: the thread-safe store of
+        #: completed per-query span trees.  When present, every
+        #: execution context draws a fresh per-query tracer from it —
+        #: which is what makes tracing safe under concurrent execution.
+        self.trace_collector: Optional[TraceCollector] = None
+        #: Installed by :meth:`enable_slow_query_log`; the engine offers
+        #: every finished query to it.
+        self.slow_query_log: Optional[SlowQueryLog] = None
         #: Optional distance cache shared across diversified queries
         #: (see :meth:`use_shared_distance_cache`).
         self.distance_cache: Optional[DistanceCache] = None
@@ -291,26 +300,65 @@ class Database:
         max_traces: int = 64,
         max_children: int = 512,
         max_events: int = 1024,
-    ) -> Tracer:
-        """Install a live :class:`~repro.obs.tracing.Tracer`.
+    ) -> TraceCollector:
+        """Install a :class:`~repro.obs.tracing.TraceCollector`.
 
-        Every subsequent query records a per-query span tree (INE
-        rounds, signature filtering, pairwise Dijkstras, COM rounds)
-        into ``db.tracer.traces``.  Returns the installed tracer.
-
-        The tracer is per-query/serial: ``execute_many`` with more
-        than one worker forces tracing off for its queries.
+        Every subsequent query records an *independent* per-query span
+        tree (INE rounds, signature filtering, pairwise Dijkstras, COM
+        rounds) into ``db.trace_collector`` — the execution context
+        draws a fresh tracer per query and publishes the finished tree
+        back, so tracing composes with ``execute_many(workers=N)``:
+        a traced concurrent batch yields one well-formed tree per
+        query, attributed to the worker thread that ran it.  Returns
+        the installed collector.
         """
-        self.tracer = Tracer(
+        self.trace_collector = TraceCollector(
             max_traces=max_traces,
             max_children=max_children,
             max_events=max_events,
         )
-        return self.tracer
+        return self.trace_collector
 
     def disable_tracing(self) -> None:
-        """Revert to the zero-overhead no-op tracer."""
+        """Revert to the zero-overhead no-op path."""
+        self.trace_collector = None
         self.tracer = NULL_TRACER
+
+    # ------------------------------------------------------------------
+    # Slow-query log
+    # ------------------------------------------------------------------
+    def enable_slow_query_log(
+        self,
+        latency_seconds: Optional[float] = None,
+        visited_nodes: Optional[int] = None,
+        max_records: int = 256,
+        path=None,
+    ) -> SlowQueryLog:
+        """Install a :class:`~repro.obs.slowlog.SlowQueryLog`.
+
+        Every finished query whose wall time reaches
+        ``latency_seconds`` and/or whose expansion visited at least
+        ``visited_nodes`` network nodes is captured with its plan
+        label, full stats snapshot and — when tracing is enabled — its
+        complete span tree.  ``path`` streams captured records to a
+        JSON-lines file (render it with ``repro slowlog FILE``).
+        Thread-safe; composes with ``execute_many(workers=N)``.
+        """
+        self.slow_query_log = SlowQueryLog(
+            SlowQueryThreshold(
+                latency_seconds=latency_seconds,
+                visited_nodes=visited_nodes,
+            ),
+            max_records=max_records,
+            path=path,
+        )
+        return self.slow_query_log
+
+    def disable_slow_query_log(self) -> None:
+        """Detach and close the slow-query log, if one is installed."""
+        log, self.slow_query_log = self.slow_query_log, None
+        if log is not None:
+            log.close()
 
     def explain(
         self,
@@ -319,6 +367,7 @@ class Database:
         method: str = "com",
         enable_pruning: bool = True,
         landmarks=None,
+        slow_threshold: Optional[SlowQueryThreshold] = None,
     ) -> "ExplainReport":
         """Plan one query, run it under a temporary tracer, explain it.
 
@@ -329,6 +378,11 @@ class Database:
         the temporary tracer rides the execution context.  The report
         carries the chosen :class:`~repro.engine.plan.QueryPlan` and
         the query's span tree and result (see :mod:`repro.obs.explain`).
+
+        ``slow_threshold`` adds a slow-query verdict to the rendered
+        report, so a single query can be judged against an SLO without
+        running a whole workload; when omitted, the installed
+        slow-query log's threshold (if any) is used.
         """
         from ..obs.explain import ExplainReport
 
@@ -343,7 +397,12 @@ class Database:
             plan = plan_sk(self, index, query)
         tracer = Tracer(max_traces=4)
         result = self.engine.execute(plan, tracer=tracer)
-        return ExplainReport(tracer.last_trace, result, plan=plan)
+        if slow_threshold is None and self.slow_query_log is not None:
+            slow_threshold = self.slow_query_log.threshold
+        return ExplainReport(
+            tracer.last_trace, result, plan=plan,
+            slow_threshold=slow_threshold,
+        )
 
     # ------------------------------------------------------------------
     # Metrics recording
@@ -364,6 +423,14 @@ class Database:
         m.inc("distance_cache.misses", stats.distance_cache_misses)
         m.inc("distance_cache.evictions", stats.distance_cache_evictions)
         m.inc("buffer.evictions", stats.buffer_evictions)
+        if kind.startswith("diversified"):
+            # COM's §4.3 early termination is the pruning the paper's
+            # diversified-search figures measure; counting it (and the
+            # diversified denominator) lets SLO rules gate on the
+            # early-termination percentage.
+            m.inc("query.diversified_count")
+            if stats.expansion_terminated_early:
+                m.inc("query.early_terminations")
         if stats.io is not None:
             m.inc("io.logical_reads", stats.io.logical_reads)
             m.inc("io.physical_reads", stats.io.physical_reads)

@@ -54,9 +54,25 @@ class ExecutionContext:
     ) -> None:
         self.db = db
         self.plan = plan
-        self.tracer = tracer if tracer is not None else (
-            db.tracer if db.tracer is not None else NULL_TRACER
-        )
+        #: The collector this context publishes its finished trace to
+        #: (``None`` when the tracer was injected or tracing is off).
+        self._collector = None
+        if tracer is not None:
+            # Explicit override (EXPLAIN): the caller owns the tracer
+            # and reads the tree off it directly.
+            self.tracer = tracer
+        else:
+            collector = getattr(db, "trace_collector", None)
+            if collector is not None:
+                # Tracing is on: this query gets its *own* bounded span
+                # tree on the collector's shared timeline.  Per-query
+                # ownership is what makes execute_many(workers=N) with
+                # tracing sound — tracer span stacks never cross
+                # threads.
+                self.tracer = collector.new_tracer()
+                self._collector = collector
+            else:
+                self.tracer = db.tracer if db.tracer is not None else NULL_TRACER
         #: Fresh per-execution index load counters; merged into the
         #: index's lifetime counters when the context closes.
         self.counters = LoadCounters()
@@ -86,7 +102,11 @@ class ExecutionContext:
                 if self._io_cm is not None:
                     self._io_cm.__exit__(exc_type, exc, tb)
             finally:
-                self.plan.index.end_execution()
+                try:
+                    self.plan.index.end_execution()
+                finally:
+                    if self._collector is not None:
+                        self._collector.collect(self.tracer)
         return False
 
     def finalise(self, stats: "QueryStats") -> None:

@@ -2,9 +2,11 @@
 
 :class:`QueryEngine` is the single place query algorithms are invoked.
 ``execute`` opens an :class:`~repro.engine.context.ExecutionContext`
-(per-query counters, I/O scope, tracer), dispatches on the plan's
-``kind``/``algorithm``, finalises the stats and records them into the
-database's metrics registry under the plan's label.
+(per-query counters, I/O scope, per-query tracer), dispatches on the
+plan's ``kind``/``algorithm``, finalises the stats, records them into
+the database's metrics registry under the plan's label and offers the
+finished query to the database's slow-query log
+(:mod:`repro.obs.slowlog`) when one is installed.
 
 ``execute_many`` runs a batch — serially, or on a thread pool.  The
 concurrency contract:
@@ -15,9 +17,12 @@ concurrency contract:
   :class:`~repro.network.distance.DistanceCache` are lock-protected;
   each query builds its *own* ``PairwiseDistanceComputer`` on top of
   the shared cache.
-* The :class:`~repro.obs.tracing.Tracer` is a per-query span *stack*
-  and is **not** thread-safe, so concurrent executions force the no-op
-  tracer; trace serially instead.
+* Tracing is concurrency-native: each execution context draws a fresh
+  per-query :class:`~repro.obs.tracing.Tracer` from the database's
+  :class:`~repro.obs.tracing.TraceCollector` and publishes the
+  finished span tree back, so a traced ``execute_many(workers=N)``
+  yields one independent tree per query (merged into a single Chrome
+  trace with per-worker lanes by :mod:`repro.obs.export`).
 
 CPython's GIL serialises the pure-Python compute, so wall-clock
 speedup from ``workers > 1`` comes from overlapping *waits*.  The
@@ -30,6 +35,7 @@ exactly as real outstanding I/O would.
 
 from __future__ import annotations
 
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import TYPE_CHECKING, Iterable, List, Optional
@@ -40,7 +46,6 @@ from ..core.knn import knn_search
 from ..core.queries import QueryStats, SKResult
 from ..errors import QueryError
 from ..network.distance import PairwiseDistanceComputer
-from ..obs.tracing import NULL_TRACER
 from .context import ExecutionContext
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard
@@ -75,130 +80,151 @@ class QueryEngine:
     def execute(self, plan: "QueryPlan", tracer=None):
         """Run one plan; returns the kind-specific result object.
 
-        ``tracer`` overrides the database's installed tracer for this
-        execution only (``repro explain`` uses this to trace one query
-        without touching global state).
+        ``tracer`` overrides the per-query tracer for this execution
+        only (``repro explain`` uses this to trace one query without
+        touching global state).
         """
-        if plan.kind == "sk":
-            result = self._execute_sk(plan, tracer)
-        elif plan.kind == "knn":
-            result = self._execute_knn(plan, tracer)
-        elif plan.kind == "diversified":
-            result = self._execute_diversified(plan, tracer)
-        else:  # pragma: no cover — QueryPlan validates kind
-            raise QueryError(f"unknown plan kind {plan.kind!r}")
+        ctx = ExecutionContext(self.db, plan, tracer)
+        with ctx:
+            if plan.kind == "sk":
+                result = self._execute_sk(plan, ctx)
+            elif plan.kind == "knn":
+                result = self._execute_knn(plan, ctx)
+            elif plan.kind == "diversified":
+                result = self._execute_diversified(plan, ctx)
+            else:  # pragma: no cover — QueryPlan validates kind
+                raise QueryError(f"unknown plan kind {plan.kind!r}")
+        kind = plan.kind
+        if kind == "diversified":
+            kind = f"diversified/{plan.algorithm}"
+        self.db._record_query(kind, plan.label, result.stats)
+        self._offer_slow_log(plan, result, ctx)
         self._io_wait(result.stats)
         return result
 
-    def _execute_sk(self, plan: "QueryPlan", tracer) -> SKResult:
+    def _execute_sk(self, plan: "QueryPlan", ctx: ExecutionContext) -> SKResult:
         db = self.db
         query = plan.query
-        with ExecutionContext(db, plan, tracer) as ctx:
-            t = ctx.tracer
-            start = time.perf_counter()
-            with t.span(
-                "query.sk", index=plan.index.name,
-                terms=sorted(query.terms), delta_max=query.delta_max,
-            ) as root:
-                expansion = INEExpansion(
-                    db.ccam, db.network, plan.index, query.position,
-                    query.terms, query.delta_max, tracer=t,
-                )
-                items = expansion.run_to_completion()
-                wall = time.perf_counter() - start
-                if t.enabled:
-                    ctx.trace_signature_summary(len(items))
-                    root.set(
-                        candidates=len(items), results=len(items),
-                        nodes_accessed=expansion.stats.nodes_accessed,
-                        edges_accessed=expansion.stats.edges_accessed,
-                        wall_seconds=wall,
-                    )
-            stats = QueryStats(
-                wall_seconds=wall,
-                nodes_accessed=expansion.stats.nodes_accessed,
-                edges_accessed=expansion.stats.edges_accessed,
-                candidates=len(items),
-                stage_seconds={
-                    "expansion": wall,
-                    "object_loading": expansion.stats.load_seconds,
-                },
+        t = ctx.tracer
+        start = time.perf_counter()
+        with t.span(
+            "query.sk", index=plan.index.name,
+            terms=sorted(query.terms), delta_max=query.delta_max,
+        ) as root:
+            expansion = INEExpansion(
+                db.ccam, db.network, plan.index, query.position,
+                query.terms, query.delta_max, tracer=t,
             )
-            ctx.finalise(stats)
-        db._record_query("sk", plan.label, stats)
+            items = expansion.run_to_completion()
+            wall = time.perf_counter() - start
+            if t.enabled:
+                ctx.trace_signature_summary(len(items))
+                root.set(
+                    candidates=len(items), results=len(items),
+                    nodes_accessed=expansion.stats.nodes_accessed,
+                    edges_accessed=expansion.stats.edges_accessed,
+                    wall_seconds=wall,
+                )
+        stats = QueryStats(
+            wall_seconds=wall,
+            nodes_accessed=expansion.stats.nodes_accessed,
+            edges_accessed=expansion.stats.edges_accessed,
+            candidates=len(items),
+            stage_seconds={
+                "expansion": wall,
+                "object_loading": expansion.stats.load_seconds,
+            },
+        )
+        ctx.finalise(stats)
         return SKResult(items, stats)
 
-    def _execute_knn(self, plan: "QueryPlan", tracer):
+    def _execute_knn(self, plan: "QueryPlan", ctx: ExecutionContext):
         db = self.db
         query = plan.query
-        with ExecutionContext(db, plan, tracer) as ctx:
-            t = ctx.tracer
-            start = time.perf_counter()
-            with t.span(
-                "query.knn", index=plan.index.name,
-                terms=sorted(query.terms), k=query.k,
-            ) as root:
-                result = knn_search(
-                    db.ccam, db.network, plan.index, query, tracer=t
-                )
-                if t.enabled:
-                    root.set(results=len(result))
-            result.stats.wall_seconds = time.perf_counter() - start
-            ctx.finalise(result.stats)
-        db._record_query("knn", plan.label, result.stats)
+        t = ctx.tracer
+        start = time.perf_counter()
+        with t.span(
+            "query.knn", index=plan.index.name,
+            terms=sorted(query.terms), k=query.k,
+        ) as root:
+            result = knn_search(
+                db.ccam, db.network, plan.index, query, tracer=t
+            )
+            if t.enabled:
+                root.set(results=len(result))
+        result.stats.wall_seconds = time.perf_counter() - start
+        ctx.finalise(result.stats)
         return result
 
-    def _execute_diversified(self, plan: "QueryPlan", tracer):
+    def _execute_diversified(self, plan: "QueryPlan", ctx: ExecutionContext):
         db = self.db
         query = plan.query
-        with ExecutionContext(db, plan, tracer) as ctx:
-            t = ctx.tracer
-            # One computer per query; the cache behind it may be shared
-            # (and is lock-protected), the computer never is.
-            pairwise = PairwiseDistanceComputer(
-                db.ccam,
-                db.network,
-                cutoff=2.0 * query.delta_max * 1.001,
-                cache=db.distance_cache,
-                tracer=t,
-            )
-            with t.span(
-                "query.diversified", method=plan.algorithm.upper(),
-                index=plan.index.name, terms=sorted(query.terms),
-                delta_max=query.delta_max, k=query.k,
-                lambda_=query.lambda_,
-            ) as root:
-                if plan.algorithm == "seq":
-                    result = seq_search(
-                        db.ccam, db.network, plan.index, query,
-                        pairwise=pairwise, tracer=t,
-                    )
-                else:
-                    result = com_search(
-                        db.ccam, db.network, plan.index, query,
-                        pairwise=pairwise,
-                        enable_pruning=plan.enable_pruning,
-                        landmarks=plan.landmarks,
-                        tracer=t,
-                    )
-                if t.enabled:
-                    ctx.trace_signature_summary(len(result))
-                    root.set(
-                        candidates=result.stats.candidates,
-                        results=len(result),
-                        objective_value=result.objective_value,
-                        wall_seconds=result.stats.wall_seconds,
-                        pairwise_dijkstras=result.stats.pairwise_dijkstras,
-                        distance_cache_hits=result.stats.distance_cache_hits,
-                        terminated_early=(
-                            result.stats.expansion_terminated_early
-                        ),
-                    )
-            ctx.finalise(result.stats)
-        db._record_query(
-            f"diversified/{plan.algorithm}", plan.label, result.stats
+        t = ctx.tracer
+        # One computer per query; the cache behind it may be shared
+        # (and is lock-protected), the computer never is.
+        pairwise = PairwiseDistanceComputer(
+            db.ccam,
+            db.network,
+            cutoff=2.0 * query.delta_max * 1.001,
+            cache=db.distance_cache,
+            tracer=t,
         )
+        with t.span(
+            "query.diversified", method=plan.algorithm.upper(),
+            index=plan.index.name, terms=sorted(query.terms),
+            delta_max=query.delta_max, k=query.k,
+            lambda_=query.lambda_,
+        ) as root:
+            if plan.algorithm == "seq":
+                result = seq_search(
+                    db.ccam, db.network, plan.index, query,
+                    pairwise=pairwise, tracer=t,
+                )
+            else:
+                result = com_search(
+                    db.ccam, db.network, plan.index, query,
+                    pairwise=pairwise,
+                    enable_pruning=plan.enable_pruning,
+                    landmarks=plan.landmarks,
+                    tracer=t,
+                )
+            if t.enabled:
+                ctx.trace_signature_summary(len(result))
+                root.set(
+                    candidates=result.stats.candidates,
+                    results=len(result),
+                    objective_value=result.objective_value,
+                    wall_seconds=result.stats.wall_seconds,
+                    pairwise_dijkstras=result.stats.pairwise_dijkstras,
+                    distance_cache_hits=result.stats.distance_cache_hits,
+                    terminated_early=(
+                        result.stats.expansion_terminated_early
+                    ),
+                )
+        ctx.finalise(result.stats)
         return result
+
+    def _offer_slow_log(
+        self, plan: "QueryPlan", result, ctx: ExecutionContext
+    ) -> None:
+        """Offer a finished query to the slow-query log, if installed.
+
+        Runs after the execution context closed, so the stats are final
+        and the per-query span tree (when tracing is on) is complete.
+        """
+        log = getattr(self.db, "slow_query_log", None)
+        if log is None:
+            return
+        trace = ctx.tracer.last_trace if ctx.tracer.enabled else None
+        log.offer(
+            label=plan.label,
+            kind=plan.kind,
+            algorithm=plan.algorithm,
+            stats=result.stats,
+            results=len(result),
+            trace=trace,
+            worker=threading.current_thread().name,
+        )
 
     def _io_wait(self, stats: Optional[QueryStats]) -> None:
         if not self.io_wait_latency or stats is None or stats.io is None:
@@ -218,9 +244,10 @@ class QueryEngine:
         ``workers > 1`` executes on a thread pool.  Results, metrics
         aggregates and lifetime counters are identical to a serial run
         (per-execution state is context-owned; merges are locked); only
-        sink-record *order* may differ.  Tracing is forced off per
-        query (the tracer's span stack is not thread-safe) — trace
-        serially when spans matter.
+        sink-record *order* may differ.  Tracing composes with
+        concurrency: each query draws its own tracer from the
+        database's trace collector, so a traced batch yields one span
+        tree per query regardless of the worker count.
         """
         if workers < 1:
             raise QueryError("workers must be >= 1")
@@ -230,6 +257,4 @@ class QueryEngine:
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-query"
         ) as pool:
-            return list(
-                pool.map(lambda p: self.execute(p, tracer=NULL_TRACER), plans)
-            )
+            return list(pool.map(self.execute, plans))

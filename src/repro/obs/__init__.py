@@ -9,21 +9,40 @@ I/O) and cache/buffer counter deltas into it, and emits one JSON-able
 record per query to any attached sink.
 
 The tracing layer (:mod:`repro.obs.tracing`) complements the flat
-metrics with per-query span trees; :mod:`repro.obs.explain` renders
-them as EXPLAIN reports and :mod:`repro.obs.export` serialises traces
-to Chrome trace-event JSON and registries to Prometheus text.
+metrics with per-query span trees — concurrency-native via
+:class:`~repro.obs.tracing.TraceCollector`; :mod:`repro.obs.explain`
+renders them as EXPLAIN reports, :mod:`repro.obs.export` serialises
+traces to Chrome trace-event JSON and registries to Prometheus text,
+:mod:`repro.obs.slowlog` captures threshold-crossing queries with
+their span trees, and :mod:`repro.obs.slo` evaluates declarative
+service-level objectives against a registry snapshot.
 """
 
 from .explain import ExplainReport, render_span_tree
 from .export import (
     chrome_trace,
+    database_gauges,
     prometheus_text,
     write_chrome_trace,
     write_prometheus,
 )
 from .metrics import Counter, Histogram, MetricsRegistry, StageClock
 from .sinks import InMemorySink, JsonLinesSink, Sink
-from .tracing import NULL_TRACER, NullTracer, Span, Tracer
+from .slo import SLOCheck, SLORule, SLOSpec, evaluate_slo
+from .slowlog import (
+    SlowQueryLog,
+    SlowQueryThreshold,
+    render_record,
+    stats_to_dict,
+)
+from .tracing import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    TraceCollector,
+    TraceRecord,
+    Tracer,
+)
 
 __all__ = [
     "Counter",
@@ -37,10 +56,21 @@ __all__ = [
     "Tracer",
     "NullTracer",
     "NULL_TRACER",
+    "TraceCollector",
+    "TraceRecord",
     "ExplainReport",
     "render_span_tree",
     "chrome_trace",
     "prometheus_text",
     "write_chrome_trace",
     "write_prometheus",
+    "database_gauges",
+    "SlowQueryLog",
+    "SlowQueryThreshold",
+    "render_record",
+    "stats_to_dict",
+    "SLOSpec",
+    "SLORule",
+    "SLOCheck",
+    "evaluate_slo",
 ]

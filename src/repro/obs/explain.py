@@ -293,7 +293,11 @@ class ExplainReport:
     """
 
     def __init__(
-        self, trace: Optional[Span], result: Any = None, plan: Any = None
+        self,
+        trace: Optional[Span],
+        result: Any = None,
+        plan: Any = None,
+        slow_threshold: Any = None,
     ) -> None:
         if trace is None:
             raise ValueError(
@@ -303,6 +307,9 @@ class ExplainReport:
         self.trace = trace
         self.result = result
         self.plan = plan
+        #: Optional :class:`~repro.obs.slowlog.SlowQueryThreshold`; when
+        #: set the rendered report closes with its SLOW/OK verdict.
+        self.slow_threshold = slow_threshold
 
     # -- structured access (tests) ------------------------------------
     def spans(self, name: str) -> List[Span]:
@@ -334,6 +341,34 @@ class ExplainReport:
     def pruned_edges(self) -> int:
         return int(self.signature_stats().get("edges_pruned", 0))
 
+    def top_level_breakdown(self) -> List[Dict[str, Any]]:
+        """Wall-clock spent per direct child of the root span.
+
+        Same-named children are merged; ``share`` is the fraction of
+        the root span's duration (clamped to 1 for clock jitter).
+        """
+        total = self.trace.duration
+        merged: Dict[str, Dict[str, Any]] = {}
+        for child in self.trace.children:
+            slot = merged.setdefault(
+                child.name, {"name": child.name, "seconds": 0.0, "count": 0}
+            )
+            slot["seconds"] += child.duration
+            slot["count"] += 1
+        rows = sorted(merged.values(), key=lambda r: -r["seconds"])
+        for row in rows:
+            row["share"] = min(row["seconds"] / total, 1.0) if total > 0 else 0.0
+        return rows
+
+    def slow_verdict(self) -> Optional[str]:
+        """The threshold's SLOW/OK one-liner, or ``None`` without one."""
+        if self.slow_threshold is None:
+            return None
+        stats = getattr(self.result, "stats", None)
+        wall = stats.wall_seconds if stats is not None else self.trace.duration
+        nodes = stats.nodes_accessed if stats is not None else 0
+        return self.slow_threshold.verdict(wall, nodes)
+
     # -- rendering -----------------------------------------------------
     def render(self) -> str:
         header = f"EXPLAIN  ({_ms(self.trace.duration)} total)"
@@ -341,6 +376,19 @@ class ExplainReport:
         if self.plan is not None:
             parts.append(self.plan.describe())
         parts.append(render_span_tree(self.trace))
+        breakdown = self.top_level_breakdown()
+        if breakdown:
+            lines = ["wall clock by top-level span:"]
+            for row in breakdown:
+                count = f" ×{row['count']}" if row["count"] > 1 else ""
+                lines.append(
+                    f"  {row['name']}{count}: {_ms(row['seconds'])} "
+                    f"({row['share'] * 100:.0f}%)"
+                )
+            parts.append("\n".join(lines))
+        verdict = self.slow_verdict()
+        if verdict is not None:
+            parts.append(f"slow-query verdict: {verdict}")
         return "\n".join(parts)
 
     def __str__(self) -> str:

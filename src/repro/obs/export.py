@@ -5,14 +5,22 @@ Two wire formats, both dependency-free:
 * **Chrome trace-event JSON** — the ``traceEvents`` array format that
   `Perfetto <https://ui.perfetto.dev>`_ and ``chrome://tracing`` load
   directly.  Each span becomes a complete ("ph": "X") event, each span
-  event an instant ("ph": "i"); every per-query trace is laid out on
-  its own track (``tid``) so queries stack vertically in the UI.
+  event an instant ("ph": "i").  A serial :class:`Tracer` lays every
+  per-query trace on its own track (``tid``); a
+  :class:`~repro.obs.tracing.TraceCollector` (possibly fed by a
+  concurrent ``execute_many``) merges into **one trace with one tid
+  lane per worker thread** — queries executed by the same worker stack
+  horizontally on that worker's lane, all on the collector's shared
+  time origin.
 
 * **Prometheus text exposition** — every registry counter becomes a
   ``counter`` metric, every histogram a ``summary`` with quantile
-  lines plus ``_sum``/``_count``, names sanitised to the Prometheus
-  grammar.  This is a point-in-time scrape written to a file, not a
-  live endpoint — enough to diff workload runs or feed a pushgateway.
+  lines plus ``_sum``/``_count``, and caller-supplied point-in-time
+  values (distance-cache hit rates, buffer-pool evictions — see
+  :func:`database_gauges`) become ``gauge`` metrics.  Names are
+  sanitised to the Prometheus grammar.  This is a point-in-time scrape
+  written to a file, not a live endpoint — enough to diff workload
+  runs or feed a pushgateway.
 """
 
 from __future__ import annotations
@@ -20,16 +28,17 @@ from __future__ import annotations
 import json
 import re
 from pathlib import Path
-from typing import Any, Dict, Iterable, List, Union
+from typing import Any, Dict, Iterable, List, Optional, Union
 
 from .metrics import MetricsRegistry
-from .tracing import Span, Tracer
+from .tracing import Span, TraceCollector, Tracer
 
 __all__ = [
     "chrome_trace",
     "write_chrome_trace",
     "prometheus_text",
     "write_prometheus",
+    "database_gauges",
 ]
 
 
@@ -80,28 +89,66 @@ def _span_events(span: Span, tid: int, out: List[Dict[str, Any]]) -> None:
         _span_events(child, tid, out)
 
 
-def chrome_trace(source: Union[Tracer, Iterable[Span]]) -> Dict[str, Any]:
-    """The trace-event document for a tracer (or explicit root spans)."""
+def _query_label(root: Span) -> str:
+    label = root.name
+    index_name = root.attrs.get("index")
+    if index_name:
+        label = f"{label} [{index_name}]"
+    return label
+
+
+def _collector_trace(collector: TraceCollector) -> Dict[str, Any]:
+    """Merged document: one ``tid`` lane per worker thread.
+
+    Every query a worker executed lands on that worker's lane; spans
+    share the collector's time origin, so concurrent queries overlap
+    on screen exactly as they overlapped in time.
+    """
+    events: List[Dict[str, Any]] = []
+    named_lanes: Dict[int, str] = {}
+    for record in collector.records:
+        if record.lane not in named_lanes:
+            named_lanes[record.lane] = record.worker
+            events.append({
+                "name": "thread_name",
+                "ph": "M",
+                "pid": 0,
+                "tid": record.lane,
+                "args": {"name": f"worker {record.lane}: {record.worker}"},
+            })
+        _span_events(record.span, record.lane, events)
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def chrome_trace(
+    source: Union[Tracer, TraceCollector, Iterable[Span]]
+) -> Dict[str, Any]:
+    """The trace-event document for a tracer, collector or root spans.
+
+    A :class:`TraceCollector` merges every collected query into one
+    document with a ``tid`` lane per worker; a plain :class:`Tracer`
+    (or an explicit span iterable) keeps the historic one-lane-per-
+    query layout.
+    """
+    if isinstance(source, TraceCollector):
+        return _collector_trace(source)
     traces = list(source.traces if isinstance(source, Tracer) else source)
     events: List[Dict[str, Any]] = []
     for tid, root in enumerate(traces, start=1):
-        label = root.name
-        index_name = root.attrs.get("index")
-        if index_name:
-            label = f"{label} [{index_name}]"
         events.append({
             "name": "thread_name",
             "ph": "M",
             "pid": 0,
             "tid": tid,
-            "args": {"name": f"query {tid}: {label}"},
+            "args": {"name": f"query {tid}: {_query_label(root)}"},
         })
         _span_events(root, tid, events)
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
 def write_chrome_trace(
-    path: Union[str, Path], source: Union[Tracer, Iterable[Span]]
+    path: Union[str, Path],
+    source: Union[Tracer, TraceCollector, Iterable[Span]],
 ) -> Path:
     """Write the Perfetto-loadable trace JSON; returns the path."""
     path = Path(path)
@@ -132,11 +179,17 @@ def _fmt_value(value: float) -> str:
     return repr(float(value)) if isinstance(value, float) else str(value)
 
 
-def prometheus_text(registry: MetricsRegistry, prefix: str = "repro") -> str:
+def prometheus_text(
+    registry: MetricsRegistry,
+    prefix: str = "repro",
+    gauges: Optional[Dict[str, float]] = None,
+) -> str:
     """Point-in-time exposition of every counter and histogram.
 
-    Empty histograms are skipped entirely — a summary with NaN
-    quantiles scrapes as an error in strict parsers.
+    ``gauges`` adds caller-supplied point-in-time values (cache hit
+    rates, pool occupancy — see :func:`database_gauges`) as ``gauge``
+    metrics.  Empty histograms are skipped entirely — a summary with
+    NaN quantiles scrapes as an error in strict parsers.
     """
     lines: List[str] = []
     for name, value in registry.counters().items():
@@ -155,13 +208,58 @@ def prometheus_text(registry: MetricsRegistry, prefix: str = "repro") -> str:
             )
         lines.append(f"{metric}_sum {_fmt_value(hist.total)}")
         lines.append(f"{metric}_count {hist.count}")
+    for name, value in sorted((gauges or {}).items()):
+        metric = _metric_name(name, prefix)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt_value(value)}")
     return "\n".join(lines) + "\n"
 
 
+def database_gauges(db) -> Dict[str, float]:
+    """Point-in-time gauge values for a database's shared caches.
+
+    Duck-typed against :class:`~repro.core.database.Database`: whatever
+    of the shared distance cache and the disk buffer pool is present
+    contributes its hit/miss/eviction state, plus derived hit rates
+    (``NaN``-free: a cache that was never consulted reports rate 0).
+    """
+    gauges: Dict[str, float] = {}
+    cache = getattr(db, "distance_cache", None)
+    if cache is not None:
+        stats = cache.stats()
+        lookups = stats["hits"] + stats["misses"]
+        gauges["distance_cache.entries"] = float(stats["entries"])
+        gauges["distance_cache.max_entries"] = float(stats["max_entries"])
+        gauges["distance_cache.hits"] = float(stats["hits"])
+        gauges["distance_cache.misses"] = float(stats["misses"])
+        gauges["distance_cache.evictions"] = float(stats["evictions"])
+        gauges["distance_cache.hit_rate"] = (
+            stats["hits"] / lookups if lookups else 0.0
+        )
+    disk = getattr(db, "disk", None)
+    buffer = getattr(disk, "buffer", None)
+    if buffer is not None:
+        lookups = buffer.hits + buffer.misses
+        gauges["buffer_pool.capacity"] = float(buffer.capacity)
+        gauges["buffer_pool.hits"] = float(buffer.hits)
+        gauges["buffer_pool.misses"] = float(buffer.misses)
+        gauges["buffer_pool.evictions"] = float(buffer.evictions)
+        gauges["buffer_pool.hit_rate"] = (
+            buffer.hits / lookups if lookups else 0.0
+        )
+    return gauges
+
+
 def write_prometheus(
-    path: Union[str, Path], registry: MetricsRegistry, prefix: str = "repro"
+    path: Union[str, Path],
+    registry: MetricsRegistry,
+    prefix: str = "repro",
+    gauges: Optional[Dict[str, float]] = None,
 ) -> Path:
     """Write the exposition text; returns the path."""
     path = Path(path)
-    path.write_text(prometheus_text(registry, prefix=prefix), encoding="utf-8")
+    path.write_text(
+        prometheus_text(registry, prefix=prefix, gauges=gauges),
+        encoding="utf-8",
+    )
     return path

@@ -1,0 +1,276 @@
+"""Slow-query log: capture outlier queries with their full context.
+
+Workload reports show the p95/p99 *numbers*; when the tail moves, an
+operator needs the *queries* that produced it.  This module keeps a
+thread-safe, bounded log of every query that crossed a configurable
+threshold — wall-clock latency, network nodes visited, or both — and
+captures, per offender:
+
+* the executed plan's label (``"SIF/COM"``-style) and kind,
+* a full :class:`~repro.core.queries.QueryStats` snapshot (stage
+  breakdown, I/O, cache deltas),
+* the complete per-query span tree when tracing was on (serialised via
+  :meth:`~repro.obs.tracing.Span.to_dict`), and
+* the worker thread that ran it.
+
+The log composes with concurrent execution: ``offer`` runs under one
+internal lock and per-query tracers are context-owned, so a 4-worker
+``execute_many`` never interleaves records.  An optional JSON-lines
+sink persists each record as it is captured (flushing per record, so a
+killed run still leaves usable data); ``repro slowlog FILE`` renders
+the file back through the EXPLAIN narrator.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional
+
+from .sinks import JsonLinesSink
+from .tracing import Span
+
+__all__ = [
+    "SlowQueryThreshold",
+    "SlowQueryLog",
+    "stats_to_dict",
+    "render_record",
+]
+
+
+def stats_to_dict(stats) -> Dict[str, Any]:
+    """A JSON-able snapshot of one query's :class:`QueryStats`."""
+    out: Dict[str, Any] = {
+        "wall_seconds": stats.wall_seconds,
+        "nodes_accessed": stats.nodes_accessed,
+        "edges_accessed": stats.edges_accessed,
+        "objects_loaded": stats.objects_loaded,
+        "false_hit_objects": stats.false_hit_objects,
+        "candidates": stats.candidates,
+        "pairwise_dijkstras": stats.pairwise_dijkstras,
+        "expansion_terminated_early": stats.expansion_terminated_early,
+        "stage_seconds": dict(stats.stage_seconds),
+        "distance_cache": {
+            "hits": stats.distance_cache_hits,
+            "misses": stats.distance_cache_misses,
+            "evictions": stats.distance_cache_evictions,
+        },
+        "buffer_evictions": stats.buffer_evictions,
+    }
+    if stats.io is not None:
+        out["io"] = {
+            "logical_reads": stats.io.logical_reads,
+            "physical_reads": stats.io.physical_reads,
+            "buffer_hits": stats.io.buffer_hits,
+        }
+    return out
+
+
+class SlowQueryThreshold:
+    """When is a query *slow*?  Latency and/or visited-node bounds.
+
+    A query is captured when **any** configured bound is met or
+    exceeded.  ``latency_seconds=0`` deliberately matches every query
+    (useful to smoke-test the capture pipeline in CI).
+    """
+
+    __slots__ = ("latency_seconds", "visited_nodes")
+
+    def __init__(
+        self,
+        latency_seconds: Optional[float] = None,
+        visited_nodes: Optional[int] = None,
+    ) -> None:
+        if latency_seconds is None and visited_nodes is None:
+            raise ValueError(
+                "a slow-query threshold needs latency_seconds and/or "
+                "visited_nodes"
+            )
+        if latency_seconds is not None and latency_seconds < 0:
+            raise ValueError("latency_seconds must be non-negative")
+        if visited_nodes is not None and visited_nodes < 0:
+            raise ValueError("visited_nodes must be non-negative")
+        self.latency_seconds = latency_seconds
+        self.visited_nodes = visited_nodes
+
+    def exceeded(
+        self, wall_seconds: float, nodes_accessed: int = 0
+    ) -> List[str]:
+        """Which bounds this query crossed (empty list = not slow)."""
+        reasons = []
+        if (
+            self.latency_seconds is not None
+            and wall_seconds >= self.latency_seconds
+        ):
+            reasons.append("latency")
+        if (
+            self.visited_nodes is not None
+            and nodes_accessed >= self.visited_nodes
+        ):
+            reasons.append("visited_nodes")
+        return reasons
+
+    def verdict(self, wall_seconds: float, nodes_accessed: int = 0) -> str:
+        """One-line SLOW/OK judgement (used by ``repro explain``)."""
+        reasons = self.exceeded(wall_seconds, nodes_accessed)
+        parts = []
+        if self.latency_seconds is not None:
+            op = "≥" if "latency" in reasons else "<"
+            parts.append(
+                f"{wall_seconds * 1e3:.3f} ms {op} "
+                f"{self.latency_seconds * 1e3:g} ms threshold"
+            )
+        if self.visited_nodes is not None:
+            op = "≥" if "visited_nodes" in reasons else "<"
+            parts.append(
+                f"{nodes_accessed} nodes {op} "
+                f"{self.visited_nodes} node threshold"
+            )
+        label = "SLOW" if reasons else "OK"
+        return f"{label} — " + ", ".join(parts)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "latency_seconds": self.latency_seconds,
+            "visited_nodes": self.visited_nodes,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return (
+            f"SlowQueryThreshold(latency_seconds={self.latency_seconds}, "
+            f"visited_nodes={self.visited_nodes})"
+        )
+
+
+class SlowQueryLog:
+    """Thread-safe bounded log of threshold-crossing queries.
+
+    ``max_records`` bounds memory: the most recent offenders are kept,
+    the oldest dropped (``dropped`` counts them).  ``path`` optionally
+    streams every captured record to a JSON-lines file as it happens.
+    """
+
+    def __init__(
+        self,
+        threshold: SlowQueryThreshold,
+        max_records: int = 256,
+        path=None,
+    ) -> None:
+        if max_records < 1:
+            raise ValueError("max_records must be >= 1")
+        self.threshold = threshold
+        self.max_records = max_records
+        self._records: List[Dict[str, Any]] = []
+        self._lock = threading.Lock()
+        self._sink = JsonLinesSink(path) if path is not None else None
+        #: Queries offered / captured / dropped-at-capacity, lifetime.
+        self.observed = 0
+        self.captured = 0
+        self.dropped = 0
+
+    @property
+    def path(self):
+        return self._sink.path if self._sink is not None else None
+
+    def offer(
+        self,
+        label: str,
+        kind: str,
+        stats,
+        algorithm: str = "",
+        results: int = 0,
+        trace: Optional[Span] = None,
+        worker: str = "",
+    ) -> Optional[Dict[str, Any]]:
+        """Judge one finished query; capture and return it when slow.
+
+        Returns the captured record dict, or ``None`` for fast queries.
+        """
+        reasons = self.threshold.exceeded(
+            stats.wall_seconds, stats.nodes_accessed
+        )
+        with self._lock:
+            self.observed += 1
+            if not reasons:
+                return None
+            self.captured += 1
+            record: Dict[str, Any] = {
+                "type": "slow_query",
+                "seq": self.captured,
+                "label": label,
+                "kind": kind,
+                "algorithm": algorithm,
+                "worker": worker,
+                "wall_seconds": stats.wall_seconds,
+                "nodes_accessed": stats.nodes_accessed,
+                "results": results,
+                "exceeded": reasons,
+                "threshold": self.threshold.to_dict(),
+                "stats": stats_to_dict(stats),
+                "trace": trace.to_dict() if trace is not None else None,
+            }
+            if len(self._records) >= self.max_records:
+                self._records.pop(0)
+                self.dropped += 1
+            self._records.append(record)
+            if self._sink is not None:
+                self._sink.emit(record)
+            return record
+
+    def records(self) -> List[Dict[str, Any]]:
+        """Captured records, oldest first (snapshot copy)."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def summary(self) -> Dict[str, Any]:
+        """One JSON-able roll-up (emitted with workload summaries)."""
+        with self._lock:
+            return {
+                "type": "slowlog_summary",
+                "observed": self.observed,
+                "captured": self.captured,
+                "dropped": self.dropped,
+                "threshold": self.threshold.to_dict(),
+            }
+
+    def close(self) -> None:
+        if self._sink is not None:
+            self._sink.close()
+
+
+def render_record(record: Dict[str, Any]) -> str:
+    """Narrate one slow-query record (the ``repro slowlog`` renderer).
+
+    The header states what crossed which bound; the body reuses the
+    EXPLAIN narrator over the persisted span tree when one was
+    captured, and falls back to the stage breakdown otherwise.
+    """
+    from .explain import render_span_tree  # deferred: explain imports us
+
+    wall_ms = record.get("wall_seconds", 0.0) * 1e3
+    header = (
+        f"SLOW QUERY #{record.get('seq', '?')}  "
+        f"[{record.get('label', '?')}]  {wall_ms:.3f} ms, "
+        f"{record.get('nodes_accessed', '?')} nodes visited "
+        f"(exceeded: {', '.join(record.get('exceeded', ())) or '?'}; "
+        f"worker {record.get('worker') or '?'})"
+    )
+    lines = [header]
+    trace = record.get("trace")
+    if trace:
+        lines.append(render_span_tree(Span.from_dict(trace)))
+    else:
+        stages = record.get("stats", {}).get("stage_seconds", {})
+        if stages:
+            breakdown = ", ".join(
+                f"{stage} {seconds * 1e3:.3f} ms"
+                for stage, seconds in sorted(
+                    stages.items(), key=lambda kv: -kv[1]
+                )
+            )
+            lines.append(f"  stages: {breakdown}")
+        lines.append("  (no span tree captured — run with tracing on)")
+    return "\n".join(lines)

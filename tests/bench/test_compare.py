@@ -1,0 +1,93 @@
+"""Tests for the bench regression detector (repro.bench.compare)."""
+
+import json
+
+import pytest
+
+from repro.bench.compare import (
+    compare_trajectories,
+    load_trajectory,
+    metric_direction,
+    render_comparison,
+)
+
+
+def _doc(figures):
+    return {
+        "schema": "repro-bench-trajectory/v1",
+        "artifact": "BENCH.json",
+        "figures": {
+            slug: {"title": slug, "headline": headline, "rows": []}
+            for slug, headline in figures.items()
+        },
+    }
+
+
+class TestDirections:
+    def test_latency_and_io_are_higher_worse(self):
+        for name in ("avg_time_ms", "p95_ms", "avg_io", "avg_dijkstras",
+                     "build_s"):
+            assert metric_direction(name) == "higher_worse", name
+
+    def test_throughput_and_rates_are_higher_better(self):
+        for name in ("qps", "speedup", "cache_hit_pct", "early_term_pct"):
+            assert metric_direction(name) == "higher_better", name
+
+    def test_parameters_are_context(self):
+        for name in ("k", "workers", "num_objects", "dataset"):
+            assert metric_direction(name) is None, name
+
+
+class TestCompare:
+    def test_identical_docs_have_no_movement(self):
+        doc = _doc({"fig-6": {"p95_ms": 10.0, "qps": 50.0, "k": 6}})
+        deltas = compare_trajectories(doc, doc)
+        assert {d.metric for d in deltas} == {"p95_ms", "qps"}
+        assert all(d.change_pct == 0 for d in deltas)
+        assert not any(d.is_regression(20) for d in deltas)
+
+    def test_latency_increase_is_a_regression(self):
+        old = _doc({"fig-6": {"p95_ms": 10.0}})
+        new = _doc({"fig-6": {"p95_ms": 12.5}})
+        (delta,) = compare_trajectories(old, new)
+        assert delta.change_pct == pytest.approx(25.0)
+        assert delta.is_regression(20)
+        assert not delta.is_regression(30)
+
+    def test_qps_drop_is_a_regression(self):
+        old = _doc({"fig-6": {"qps": 100.0}})
+        new = _doc({"fig-6": {"qps": 70.0}})
+        (delta,) = compare_trajectories(old, new)
+        assert delta.change_pct == pytest.approx(30.0)
+        assert delta.is_regression(20)
+
+    def test_improvements_are_not_regressions(self):
+        old = _doc({"fig-6": {"p95_ms": 10.0, "qps": 100.0}})
+        new = _doc({"fig-6": {"p95_ms": 5.0, "qps": 160.0}})
+        deltas = compare_trajectories(old, new)
+        assert all(d.is_improvement(20) for d in deltas)
+        assert not any(d.is_regression(20) for d in deltas)
+
+    def test_one_sided_figures_and_metrics_skipped(self):
+        old = _doc({"fig-6": {"p95_ms": 10.0}, "fig-7": {"p95_ms": 2.0}})
+        new = _doc({"fig-6": {"avg_io": 5.0}, "fig-8": {"p95_ms": 9.0}})
+        assert compare_trajectories(old, new) == []
+
+    def test_render_lists_regressions_first(self):
+        old = _doc({"fig-6": {"p95_ms": 10.0, "qps": 100.0}})
+        new = _doc({"fig-6": {"p95_ms": 20.0, "qps": 200.0}})
+        text = render_comparison(compare_trajectories(old, new), 20)
+        assert "1 regression(s)" in text
+        assert "REGRESSION" in text and "improved" in text
+        assert text.index("REGRESSION") < text.index("improved")
+
+
+class TestLoad:
+    def test_load_checks_schema(self, tmp_path):
+        good = tmp_path / "good.json"
+        good.write_text(json.dumps(_doc({})))
+        assert load_trajectory(good)["schema"] == "repro-bench-trajectory/v1"
+        bad = tmp_path / "bad.json"
+        bad.write_text(json.dumps({"schema": "other/v9"}))
+        with pytest.raises(ValueError):
+            load_trajectory(bad)

@@ -63,4 +63,18 @@ class TestTrajectoryWriter:
     def test_default_is_repo_root_artifact(self, monkeypatch):
         monkeypatch.delenv("REPRO_BENCH_TRAJECTORY", raising=False)
         path = default_trajectory_path()
-        assert path.name == "BENCH_PR3.json"
+        assert path.name == "BENCH_PR4.json"
+
+    def test_write_merges_into_existing_artifact(self, tmp_path):
+        path = tmp_path / "b.json"
+        first = TrajectoryWriter(path)
+        first.record("Fig 1", [{"x_ms": 1.0}])
+        first.record("Fig 2", [{"x_ms": 5.0}])
+        first.write()
+        # A partial re-run refreshes Fig 1 but must not lose Fig 2.
+        second = TrajectoryWriter(path)
+        second.record("Fig 1", [{"x_ms": 2.0}])
+        second.write()
+        doc = second.load()
+        assert doc["figures"]["fig-1"]["headline"] == {"x_ms": 2.0}
+        assert doc["figures"]["fig-2"]["headline"] == {"x_ms": 5.0}

@@ -1,0 +1,150 @@
+"""Tests for the slow-query log (repro.obs.slowlog)."""
+
+import json
+
+import pytest
+
+from repro.core.queries import QueryStats
+from repro.engine import plan_diversified
+from repro.obs.slowlog import (
+    SlowQueryLog,
+    SlowQueryThreshold,
+    render_record,
+    stats_to_dict,
+)
+from repro.workloads.queries import WorkloadConfig, generate_diversified_queries
+
+
+def _stats(wall=0.01, nodes=100):
+    return QueryStats(wall_seconds=wall, nodes_accessed=nodes)
+
+
+class TestThreshold:
+    def test_requires_at_least_one_bound(self):
+        with pytest.raises(ValueError):
+            SlowQueryThreshold()
+        with pytest.raises(ValueError):
+            SlowQueryThreshold(latency_seconds=-1)
+        with pytest.raises(ValueError):
+            SlowQueryThreshold(visited_nodes=-1)
+
+    def test_exceeded_is_inclusive(self):
+        t = SlowQueryThreshold(latency_seconds=0.01, visited_nodes=50)
+        assert t.exceeded(0.01, 49) == ["latency"]
+        assert t.exceeded(0.009, 50) == ["visited_nodes"]
+        assert t.exceeded(0.02, 60) == ["latency", "visited_nodes"]
+        assert t.exceeded(0.005, 10) == []
+
+    def test_zero_latency_matches_everything(self):
+        t = SlowQueryThreshold(latency_seconds=0)
+        assert t.exceeded(0.0) == ["latency"]
+
+    def test_verdict_wording(self):
+        t = SlowQueryThreshold(latency_seconds=0.01)
+        assert t.verdict(0.02).startswith("SLOW — ")
+        assert t.verdict(0.001).startswith("OK — ")
+
+
+class TestSlowQueryLog:
+    def test_capture_and_skip(self):
+        log = SlowQueryLog(SlowQueryThreshold(latency_seconds=0.01))
+        assert log.offer("SIF/COM", "diversified",
+                         _stats(wall=0.005)) is None
+        record = log.offer(
+            "SIF/COM", "diversified", _stats(wall=0.02),
+            algorithm="com", results=5, worker="w1",
+        )
+        assert record is not None
+        assert record["label"] == "SIF/COM"
+        assert record["exceeded"] == ["latency"]
+        assert record["stats"]["wall_seconds"] == 0.02
+        assert len(log) == 1
+        summary = log.summary()
+        assert summary["observed"] == 2 and summary["captured"] == 1
+
+    def test_bounded_keeps_most_recent(self):
+        log = SlowQueryLog(
+            SlowQueryThreshold(latency_seconds=0), max_records=2
+        )
+        for i in range(4):
+            log.offer(f"L{i}", "sk", _stats())
+        records = log.records()
+        assert [r["label"] for r in records] == ["L2", "L3"]
+        assert log.dropped == 2
+
+    def test_jsonl_sink_flushes_per_record(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(
+            SlowQueryThreshold(latency_seconds=0), path=path
+        )
+        log.offer("SIF/INE", "sk", _stats(), worker="w")
+        lines = path.read_text().splitlines()
+        assert len(lines) == 1
+        record = json.loads(lines[0])
+        assert record["type"] == "slow_query"
+        assert record["worker"] == "w"
+        log.close()
+
+    def test_render_without_trace_falls_back_to_stages(self):
+        stats = _stats(wall=0.02)
+        stats.stage_seconds["expansion"] = 0.015
+        log = SlowQueryLog(SlowQueryThreshold(latency_seconds=0))
+        record = log.offer("SIF/COM", "diversified", stats)
+        text = render_record(record)
+        assert "SLOW QUERY #1" in text
+        assert "expansion" in text
+        assert "run with tracing on" in text
+
+    def test_stats_to_dict_includes_io_when_present(self):
+        stats = _stats()
+        assert "io" not in stats_to_dict(stats)
+
+
+class TestEngineIntegration:
+    @pytest.fixture(scope="class")
+    def sif(self, tiny_db):
+        return tiny_db.build_index("sif", file_prefix="slowlog-sif")
+
+    def test_traced_offenders_carry_span_trees(self, tiny_db, sif):
+        tiny_db.enable_tracing(max_traces=64)
+        log = tiny_db.enable_slow_query_log(latency_seconds=0.0)
+        try:
+            queries = generate_diversified_queries(
+                tiny_db,
+                WorkloadConfig(num_queries=6, num_keywords=2, k=4, seed=81),
+            )
+            plans = [
+                plan_diversified(tiny_db, sif, q, method="com")
+                for q in queries
+            ]
+            tiny_db.engine.execute_many(plans, workers=3)
+            records = log.records()
+            assert len(records) == len(plans)
+            for record in records:
+                assert record["label"] == f"{sif.name}/COM"
+                assert record["trace"] is not None
+                assert record["trace"]["name"] == "query.diversified"
+                assert record["worker"].startswith("repro-query")
+                rendered = render_record(record)
+                assert "SLOW QUERY" in rendered
+                assert "diversified query" in rendered
+        finally:
+            tiny_db.disable_slow_query_log()
+            tiny_db.disable_tracing()
+
+    def test_fast_queries_not_captured(self, tiny_db, sif):
+        log = tiny_db.enable_slow_query_log(latency_seconds=3600.0)
+        try:
+            queries = generate_diversified_queries(
+                tiny_db,
+                WorkloadConfig(num_queries=2, num_keywords=2, k=4, seed=82),
+            )
+            plans = [
+                plan_diversified(tiny_db, sif, q, method="seq")
+                for q in queries
+            ]
+            tiny_db.engine.execute_many(plans)
+            assert len(log) == 0
+            assert log.summary()["observed"] == len(plans)
+        finally:
+            tiny_db.disable_slow_query_log()

@@ -138,6 +138,162 @@ class TestObservabilityFlags:
         assert captured["sink"].closed
 
 
+class TestConcurrentObservability:
+    def test_trace_with_workers_merges_lanes(self, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "sk", "SYN", "--scale", "0.05", "--queries", "8",
+            "--keywords", "2", "--workers", "4",
+            "--trace", str(trace_path),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "serial-only" not in err
+        assert "worker lane" in err
+        doc = json.loads(trace_path.read_text())
+        meta = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+        assert meta and all(
+            e["args"]["name"].startswith("worker") for e in meta
+        )
+        spans = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+        assert sum(1 for e in spans if e["name"] == "query.sk") == 8
+        assert {e["tid"] for e in spans} <= {e["tid"] for e in meta}
+
+    def test_prom_includes_cache_gauges(self, tmp_path):
+        prom_path = tmp_path / "metrics.prom"
+        assert main([
+            "diversify", "SYN", "--scale", "0.05", "--queries", "2",
+            "--keywords", "2", "--k", "4",
+            "--distance-cache", "100000", "--prom", str(prom_path),
+        ]) == 0
+        prom = prom_path.read_text()
+        assert "# TYPE repro_distance_cache_hit_rate gauge" in prom
+        assert "# TYPE repro_buffer_pool_evictions gauge" in prom
+
+
+class TestSlowLogCommand:
+    def test_capture_and_render(self, tmp_path, capsys):
+        log_path = tmp_path / "slow.jsonl"
+        trace_path = tmp_path / "trace.json"
+        assert main([
+            "diversify", "SYN", "--scale", "0.05", "--queries", "2",
+            "--keywords", "2", "--k", "4", "--workers", "2",
+            "--slowlog", str(log_path), "--trace", str(trace_path),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "Slow-query log: captured 4 of 4 queries" in err
+        records = [
+            json.loads(line) for line in log_path.read_text().splitlines()
+        ]
+        assert all(r["type"] == "slow_query" for r in records)
+        assert all(r["trace"] is not None for r in records)
+        assert all(r["label"] for r in records)
+
+        assert main(["slowlog", str(log_path)]) == 0
+        out = capsys.readouterr().out
+        assert "SLOW QUERY #1" in out
+        assert "diversified query" in out
+
+    def test_threshold_filters(self, tmp_path, capsys):
+        log_path = tmp_path / "slow.jsonl"
+        assert main([
+            "sk", "SYN", "--scale", "0.05", "--queries", "3",
+            "--keywords", "2",
+            "--slow-ms", "60000", "--slowlog", str(log_path),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "captured 0 of 3" in err
+        assert main(["slowlog", str(log_path)]) == 0
+        assert "no slow-query records" in capsys.readouterr().out
+
+    def test_missing_file_fails(self, tmp_path, capsys):
+        assert main(["slowlog", str(tmp_path / "absent.jsonl")]) == 1
+
+
+class TestSLOGate:
+    def _spec(self, tmp_path, threshold):
+        spec = {
+            "name": "serving",
+            "rules": [
+                {"name": "p95 latency", "kind": "histogram_quantile",
+                 "metric": "query.wall_seconds", "op": "<=",
+                 "threshold": threshold, "quantile": 95},
+                {"name": "ran queries", "kind": "counter",
+                 "metric": "query.count", "op": ">=", "threshold": 1},
+            ],
+        }
+        path = tmp_path / "slo.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_passing_slo(self, tmp_path, capsys):
+        path = self._spec(tmp_path, threshold=3600.0)
+        assert main([
+            "sk", "SYN", "--scale", "0.05", "--queries", "3",
+            "--keywords", "2", "--slo", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "PASS  p95 latency" in out
+
+    def test_violated_slo_fails_command(self, tmp_path, capsys):
+        path = self._spec(tmp_path, threshold=0.0)
+        assert main([
+            "sk", "SYN", "--scale", "0.05", "--queries", "3",
+            "--keywords", "2", "--slo", str(path),
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL  p95 latency" in captured.out
+        assert "SLO VIOLATED" in captured.err
+
+
+class TestBenchCompareCommand:
+    def _write(self, path, p95_ms, qps):
+        path.write_text(json.dumps({
+            "schema": "repro-bench-trajectory/v1",
+            "artifact": path.name,
+            "figures": {
+                "fig-6": {
+                    "title": "Fig 6",
+                    "headline": {"p95_ms": p95_ms, "qps": qps, "k": 6},
+                    "rows": [],
+                },
+            },
+        }))
+
+    def test_identical_files_pass_the_gate(self, tmp_path, capsys):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        self._write(old, 10.0, 100.0)
+        self._write(new, 10.0, 100.0)
+        assert main([
+            "bench", "compare", str(old), str(new),
+            "--fail-on-regression", "20",
+        ]) == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_injected_regression_fails_the_gate(self, tmp_path, capsys):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        self._write(old, 10.0, 100.0)
+        self._write(new, 12.5, 100.0)  # +25% p95 — past the 20% gate
+        assert main([
+            "bench", "compare", str(old), str(new),
+            "--fail-on-regression", "20",
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "gate FAILED" in captured.err
+
+    def test_report_only_without_gate(self, tmp_path, capsys):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        self._write(old, 10.0, 100.0)
+        self._write(new, 12.5, 100.0)
+        assert main(["bench", "compare", str(old), str(new)]) == 0
+
+    def test_bad_schema_is_an_error(self, tmp_path, capsys):
+        old, new = tmp_path / "old.json", tmp_path / "new.json"
+        old.write_text(json.dumps({"schema": "other"}))
+        self._write(new, 10.0, 100.0)
+        assert main(["bench", "compare", str(old), str(new)]) == 2
+
+
 class TestExplainCommand:
     def test_explain_diversified(self, capsys, tmp_path):
         trace_path = tmp_path / "explain.json"
@@ -160,3 +316,18 @@ class TestExplainCommand:
         out = capsys.readouterr().out
         assert "SK range query" in out
         assert "signature filter [SIF-P]" in out
+        assert "wall clock by top-level span" in out
+
+    def test_explain_slow_verdict(self, capsys):
+        assert main([
+            "explain", "SYN", "--scale", "0.05", "--method", "sk",
+            "--keywords", "2", "--slow-ms", "60000",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "slow-query verdict: OK — " in out
+        assert main([
+            "explain", "SYN", "--scale", "0.05", "--method", "sk",
+            "--keywords", "2", "--slow-ms", "0",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "slow-query verdict: SLOW — " in out
