@@ -23,7 +23,7 @@ from repro.bench.trajectory import TrajectoryWriter
 RESULTS_DIR = Path(__file__).parent / "results"
 
 #: Session-wide trajectory: every `show`-n table is recorded and the
-#: JSON artifact (BENCH_PR4.json, or $REPRO_BENCH_TRAJECTORY) written
+#: JSON artifact (BENCH_PR5.json, or $REPRO_BENCH_TRAJECTORY) written
 #: once at session end (merging into any existing artifact, so partial
 #: ``-k`` runs extend the trajectory instead of clobbering it).
 _TRAJECTORY = TrajectoryWriter()

@@ -39,6 +39,7 @@ from typing import List, Optional
 
 from .bench.reporting import print_table
 from .core.database import INDEX_KINDS, Database
+from .network.distance import DISTANCE_BACKENDS
 from .datasets.catalog import PROFILES, build_dataset
 from .datasets.io import save_dataset
 from .workloads.queries import (
@@ -89,7 +90,17 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--seed", type=int, default=None,
                        help="override the profile's generator seed")
 
+    def add_backend_arg(p: argparse.ArgumentParser) -> None:
+        p.add_argument(
+            "--distance-backend", choices=DISTANCE_BACKENDS,
+            default="dijkstra",
+            help="exact pairwise-distance backend: bounded Dijkstras "
+                 "(default) or the Contraction-Hierarchies oracle "
+                 "(identical answers, built once per database)",
+        )
+
     def add_workload_args(p: argparse.ArgumentParser) -> None:
+        add_backend_arg(p)
         p.add_argument("--queries", type=int, default=50)
         p.add_argument("--keywords", type=int, default=3, metavar="L")
         p.add_argument("--delta-max", type=float, default=None)
@@ -169,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="run one query under tracing and print its pruning report",
     )
     add_dataset_args(p)
+    add_backend_arg(p)
     p.add_argument("--index", choices=INDEX_KINDS, default="sif")
     p.add_argument(
         "--method", choices=("com", "seq", "sk"), default="com",
@@ -240,7 +252,11 @@ def _build_db(args) -> Database:
     if args.seed is not None:
         overrides["seed"] = args.seed
     print(f"Building {args.profile} (scale {args.scale})...", file=sys.stderr)
-    return build_dataset(args.profile, scale=args.scale, **overrides)
+    db = build_dataset(args.profile, scale=args.scale, **overrides)
+    backend = getattr(args, "distance_backend", None)
+    if backend:
+        db.use_distance_backend(backend)
+    return db
 
 
 def _config(args, **extra) -> WorkloadConfig:

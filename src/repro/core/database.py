@@ -30,7 +30,8 @@ from ..index.sif import SIFIndex
 from ..index.sif_g import SIFGIndex
 from ..index.sif_p import SIFPIndex
 from ..network.ccam import CCAMStore
-from ..network.distance import DistanceCache
+from ..network.ch import ContractionHierarchy
+from ..network.distance import DISTANCE_BACKENDS, DistanceBackend, DistanceCache
 from ..network.graph import NetworkPosition, RoadNetwork
 from ..obs.metrics import MetricsRegistry
 from ..obs.slowlog import SlowQueryLog, SlowQueryThreshold
@@ -61,6 +62,7 @@ class Database:
         curve: Optional[ZOrderCurve] = None,
         metrics: Optional[MetricsRegistry] = None,
         tracer=None,
+        distance_backend: str = "dijkstra",
     ) -> None:
         """Create the disk-resident network structures.
 
@@ -80,6 +82,12 @@ class Database:
         :data:`~repro.obs.tracing.NULL_TRACER` (tracing off, no
         measurable overhead).  Use :meth:`enable_tracing` to switch it
         on later.
+
+        ``distance_backend`` selects how diversified queries evaluate
+        exact pairwise network distances: ``"dijkstra"`` (the default —
+        bounded Dijkstras, unchanged behaviour) or ``"ch"`` (the
+        Contraction-Hierarchies oracle, built lazily on first use; see
+        :meth:`use_distance_backend`).
         """
         self.network = network
         self.curve = curve or ZOrderCurve()
@@ -96,6 +104,9 @@ class Database:
         #: Optional distance cache shared across diversified queries
         #: (see :meth:`use_shared_distance_cache`).
         self.distance_cache: Optional[DistanceCache] = None
+        self._ch_oracle: Optional[ContractionHierarchy] = None
+        self.distance_backend = "dijkstra"
+        self.use_distance_backend(distance_backend)
         self.disk = DiskManager(buffer_pages=buffer_pages or 1 << 30)
         self._explicit_buffer = buffer_pages
         self._buffer_fraction = buffer_fraction
@@ -293,6 +304,55 @@ class Database:
         return self.distance_cache
 
     # ------------------------------------------------------------------
+    # Distance backends
+    # ------------------------------------------------------------------
+    def use_distance_backend(self, name: str) -> None:
+        """Select the pairwise distance backend: ``dijkstra`` or ``ch``.
+
+        ``dijkstra`` keeps the historical bounded-Dijkstra evaluation.
+        ``ch`` routes pairwise evaluations through the
+        Contraction-Hierarchies oracle — identical answers, far fewer
+        settled nodes.  The oracle is built lazily on the first query
+        that needs it (or eagerly via :meth:`ch_oracle`); switching
+        back and forth costs nothing once built.
+        """
+        name = name.lower()
+        if name not in DISTANCE_BACKENDS:
+            raise QueryError(
+                f"unknown distance backend {name!r}; "
+                f"expected one of {DISTANCE_BACKENDS}"
+            )
+        self.distance_backend = name
+
+    def ch_oracle(self) -> ContractionHierarchy:
+        """The database's Contraction-Hierarchies oracle (built once).
+
+        Construction runs over the in-memory network (preprocessing is
+        CPU work, not charged I/O — like the KD partition) and records
+        ``ch.preprocess_seconds`` / ``ch.shortcuts_added`` /
+        ``ch.upward_edges`` into the metrics registry.  The oracle is
+        immutable and shared by all queries, including concurrent
+        ``execute_many`` batches.
+        """
+        if self._ch_oracle is None:
+            oracle = ContractionHierarchy(self.network)
+            self.metrics.observe(
+                "ch.preprocess_seconds", oracle.preprocess_seconds
+            )
+            self.metrics.inc("ch.shortcuts_added", oracle.shortcuts_added)
+            self.metrics.inc("ch.upward_edges", oracle.upward_edges)
+            self.metrics.emit({"type": "ch_build", **oracle.stats()})
+            self._ch_oracle = oracle
+        return self._ch_oracle
+
+    def pairwise_backend(self) -> Optional[DistanceBackend]:
+        """The backend queries should hand to their pairwise computer
+        (``None`` means the default bounded-Dijkstra path)."""
+        if self.distance_backend == "ch":
+            return self.ch_oracle()
+        return None
+
+    # ------------------------------------------------------------------
     # Tracing
     # ------------------------------------------------------------------
     def enable_tracing(
@@ -423,6 +483,11 @@ class Database:
         m.inc("distance_cache.misses", stats.distance_cache_misses)
         m.inc("distance_cache.evictions", stats.distance_cache_evictions)
         m.inc("buffer.evictions", stats.buffer_evictions)
+        m.inc(f"query.backend.{stats.distance_backend}")
+        if stats.distance_backend == "ch":
+            m.inc("ch.queries", stats.backend_queries)
+            m.inc("ch.settled_nodes", stats.backend_settled_nodes)
+            m.inc("ch.bucket_hits", stats.backend_bucket_hits)
         if kind.startswith("diversified"):
             # COM's §4.3 early termination is the pruning the paper's
             # diversified-search figures measure; counting it (and the
@@ -443,6 +508,7 @@ class Database:
             "stages": dict(stats.stage_seconds),
             "candidates": stats.candidates,
             "pairwise_dijkstras": stats.pairwise_dijkstras,
+            "distance_backend": stats.distance_backend,
             "distance_cache": {
                 "hits": stats.distance_cache_hits,
                 "misses": stats.distance_cache_misses,

@@ -120,6 +120,10 @@ class QueryStats:
     distance_cache_misses: int = 0
     distance_cache_evictions: int = 0
     buffer_evictions: int = 0
+    distance_backend: str = "dijkstra"
+    backend_queries: int = 0
+    backend_settled_nodes: int = 0
+    backend_bucket_hits: int = 0
 
     @property
     def physical_reads(self) -> int:

@@ -168,12 +168,13 @@ class QueryEngine:
             cutoff=2.0 * query.delta_max * 1.001,
             cache=db.distance_cache,
             tracer=t,
+            backend=db.pairwise_backend(),
         )
         with t.span(
             "query.diversified", method=plan.algorithm.upper(),
             index=plan.index.name, terms=sorted(query.terms),
             delta_max=query.delta_max, k=query.k,
-            lambda_=query.lambda_,
+            lambda_=query.lambda_, backend=pairwise.backend_name,
         ) as root:
             if plan.algorithm == "seq":
                 result = seq_search(

@@ -64,6 +64,9 @@ class CostHints:
     estimated_matches: float
     #: ``estimated_matches / num_objects`` (0 on an empty store).
     selectivity: float
+    #: How pairwise network distances will be evaluated: ``"dijkstra"``
+    #: (bounded Dijkstras) or ``"ch"`` (Contraction-Hierarchies oracle).
+    distance_backend: str = "dijkstra"
 
     @property
     def rarest_term(self) -> Optional[str]:
@@ -120,10 +123,12 @@ class QueryPlan:
             params.append(f"k={q.k}")
         lines.append("  query: " + "  ".join(params))
         if self.kind == "diversified":
+            backend = self.hints.distance_backend if self.hints else "dijkstra"
             lines.append(
                 f"  pruning: {'on' if self.enable_pruning else 'off'}"
                 f"    landmarks: "
                 f"{'yes' if self.landmarks is not None else 'no'}"
+                f"    distance backend: {backend}"
             )
         h = self.hints
         if h is not None:
@@ -157,6 +162,7 @@ def _cost_hints(db: "Database", terms) -> CostHints:
         term_frequencies=tf,
         estimated_matches=estimated,
         selectivity=(estimated / num_objects) if num_objects else 0.0,
+        distance_backend=getattr(db, "distance_backend", "dijkstra"),
     )
 
 

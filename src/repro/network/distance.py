@@ -22,7 +22,11 @@ from .graph import NetworkPosition, RoadNetwork
 
 __all__ = [
     "AdjacencyProvider",
+    "DistanceBackend",
+    "BackendCounters",
+    "DISTANCE_BACKENDS",
     "seed_distances",
+    "node_source_distances",
     "single_source_distances",
     "position_distance_from_node_map",
     "network_distance",
@@ -32,11 +36,74 @@ __all__ = [
 
 INF = math.inf
 
+#: Backend names accepted wherever a distance backend is selected
+#: (``Database``, the CLI's ``--distance-backend``).  ``dijkstra`` is
+#: the default bounded-Dijkstra path; ``ch`` is the
+#: Contraction-Hierarchies oracle (:mod:`repro.network.ch`).
+DISTANCE_BACKENDS = ("dijkstra", "ch")
+
 
 class AdjacencyProvider(Protocol):
     """Anything that can enumerate ``(edge_id, other_node, weight)``."""
 
     def neighbors(self, node_id: int) -> Sequence[Tuple[int, int, float]]:
+        ...
+
+
+class BackendCounters:
+    """Per-owner counters a :class:`DistanceBackend` increments.
+
+    A backend oracle (e.g. one Contraction Hierarchy) is shared by
+    every query of a database, so it cannot keep per-query counters
+    itself.  Callers own one of these and pass it into each call; the
+    owner's numbers are then true per-query deltas even when other
+    threads hammer the same oracle.
+    """
+
+    __slots__ = ("queries", "settled_nodes", "bucket_hits", "matrix_cells")
+
+    def __init__(self) -> None:
+        self.queries = 0
+        self.settled_nodes = 0
+        self.bucket_hits = 0
+        self.matrix_cells = 0
+
+    def snapshot(self) -> Tuple[int, int, int, int]:
+        return (
+            self.queries, self.settled_nodes,
+            self.bucket_hits, self.matrix_cells,
+        )
+
+
+class DistanceBackend(Protocol):
+    """A pluggable exact network-distance oracle.
+
+    Implementations answer the same questions the bounded-Dijkstra
+    path answers — exact ``δ(a, b)`` between network positions (with
+    the paper's same-edge rule and a cutoff that maps to ``inf``) and
+    the full pairwise matrix over a candidate set — but may do so with
+    entirely different machinery (see
+    :class:`repro.network.ch.ContractionHierarchy`).  ``counters`` is
+    an optional :class:`BackendCounters` the call charges its work to.
+    """
+
+    name: str
+
+    def position_distance(
+        self,
+        a: NetworkPosition,
+        b: NetworkPosition,
+        cutoff: float = INF,
+        counters: Optional[BackendCounters] = None,
+    ) -> float:
+        ...
+
+    def position_matrix(
+        self,
+        positions: Sequence[NetworkPosition],
+        cutoff: float = INF,
+        counters: Optional[BackendCounters] = None,
+    ) -> Dict[Tuple[int, int], float]:
         ...
 
 
@@ -48,6 +115,50 @@ def seed_distances(
     return {edge.n1: pos.offset, edge.n2: edge.weight - pos.offset}
 
 
+def node_source_distances(
+    provider: AdjacencyProvider,
+    source_node: int,
+    cutoff: float = INF,
+    *,
+    ignore: Optional[int] = None,
+    targets: Optional[Iterable[int]] = None,
+    max_settled: Optional[int] = None,
+) -> Dict[int, float]:
+    """Bounded Dijkstra from a *node* through an adjacency provider.
+
+    The shared node-source kernel: landmark pre-computation runs it to
+    exhaustion, Contraction-Hierarchies preprocessing runs it as a
+    *witness search* (``ignore`` skips the node being contracted,
+    ``targets`` stops once every target settled, ``max_settled`` caps
+    the search).  Tentative distances are tracked so a node is pushed
+    at most once per improvement — dominated heap entries are never
+    enqueued.
+    """
+    dist: Dict[int, float] = {}
+    best: Dict[int, float] = {source_node: 0.0}
+    heap: list = [(0.0, source_node)]
+    remaining = set(targets) if targets is not None else None
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in dist:
+            continue
+        dist[node] = d
+        if remaining is not None:
+            remaining.discard(node)
+            if not remaining:
+                break
+        if max_settled is not None and len(dist) >= max_settled:
+            break
+        for _edge_id, other, weight in provider.neighbors(node):
+            if other == ignore or other in dist:
+                continue
+            nd = d + weight
+            if nd <= cutoff and nd < best.get(other, INF):
+                best[other] = nd
+                heapq.heappush(heap, (nd, other))
+    return dist
+
+
 def single_source_distances(
     provider: AdjacencyProvider,
     network: RoadNetwork,
@@ -57,12 +168,18 @@ def single_source_distances(
     """Bounded Dijkstra from a network position.
 
     Returns the distance of every node within ``cutoff`` of ``source``.
+    Best-known tentative distances are tracked so already-dominated
+    entries are never pushed — the heap holds at most one live entry
+    per frontier node instead of one per relaxed edge.
     """
     dist: Dict[int, float] = {}
+    best: Dict[int, float] = {}
     heap: list = []
     for node_id, d in seed_distances(network, source).items():
-        if d <= cutoff:
-            heapq.heappush(heap, (d, node_id))
+        if d <= cutoff and d < best.get(node_id, INF):
+            best[node_id] = d
+    for node_id, d in best.items():
+        heapq.heappush(heap, (d, node_id))
     while heap:
         d, node_id = heapq.heappop(heap)
         if node_id in dist:
@@ -70,7 +187,8 @@ def single_source_distances(
         dist[node_id] = d
         for _edge_id, other, weight in provider.neighbors(node_id):
             nd = d + weight
-            if nd <= cutoff and other not in dist:
+            if nd <= cutoff and other not in dist and nd < best.get(other, INF):
+                best[other] = nd
                 heapq.heappush(heap, (nd, other))
     return dist
 
@@ -107,24 +225,34 @@ def network_distance(
     a: NetworkPosition,
     b: NetworkPosition,
     cutoff: float = INF,
+    backend: Optional[DistanceBackend] = None,
 ) -> float:
     """Network distance ``δ(a, b)``; ``inf`` when beyond ``cutoff``.
 
-    Runs a Dijkstra from ``a`` with early termination at ``b``'s edge
-    end-nodes.  On a shared edge the along-edge distance short-circuits
-    the search (paper: ``δ(q, p) = w(q, p)`` if both lie on one edge).
+    With ``backend=None`` runs a Dijkstra from ``a`` with early
+    termination at ``b``'s edge end-nodes; a :class:`DistanceBackend`
+    (e.g. a Contraction-Hierarchies oracle) answers instead when
+    supplied.  On a shared edge the along-edge distance short-circuits
+    either path (paper: ``δ(q, p) = w(q, p)`` if both lie on one edge).
     """
     if a.edge_id == b.edge_id:
+        # Same-edge rule, applied before the backend dispatch so every
+        # backend answers shared-edge pairs identically.
         return abs(a.offset - b.offset)
+    if backend is not None:
+        return backend.position_distance(a, b, cutoff=cutoff)
     edge_b = network.edge(b.edge_id)
     targets = {edge_b.n1, edge_b.n2}
     target_dist: Dict[int, float] = {}
 
     dist: Dict[int, float] = {}
+    best_known: Dict[int, float] = {}
     heap: list = []
     for node_id, d in seed_distances(network, a).items():
-        if d <= cutoff:
-            heapq.heappush(heap, (d, node_id))
+        if d <= cutoff and d < best_known.get(node_id, INF):
+            best_known[node_id] = d
+    for node_id, d in best_known.items():
+        heapq.heappush(heap, (d, node_id))
     best = INF
     while heap:
         d, node_id = heapq.heappop(heap)
@@ -143,7 +271,11 @@ def network_distance(
                 break
         for _edge_id, other, weight in provider.neighbors(node_id):
             nd = d + weight
-            if nd <= cutoff and nd < best and other not in dist:
+            if (
+                nd <= cutoff and nd < best and other not in dist
+                and nd < best_known.get(other, INF)
+            ):
+                best_known[other] = nd
                 heapq.heappush(heap, (nd, other))
     return best if best <= cutoff else INF
 
@@ -286,6 +418,15 @@ class PairwiseDistanceComputer:
     same cache.  Callers that share a computer across queries must
     snapshot and report deltas.  A computer itself is **not**
     thread-safe; create one per query.
+
+    ``backend`` plugs in a :class:`DistanceBackend` oracle (e.g. a
+    Contraction Hierarchy): every cross-edge pair is then answered by
+    the oracle instead of the cached-Dijkstra path, with the oracle's
+    work charged to this computer's own :class:`BackendCounters` and
+    ``backend_seconds``.  :meth:`prefetch` bulk-resolves a candidate
+    set through the oracle's many-to-many kernel; prefetched pairs are
+    served as cache hits.  The oracle itself may be shared across
+    queries and threads (it is immutable after construction).
     """
 
     def __init__(
@@ -295,11 +436,16 @@ class PairwiseDistanceComputer:
         cutoff: float = INF,
         cache: Optional[DistanceCache] = None,
         tracer=NULL_TRACER,
+        backend: Optional[DistanceBackend] = None,
     ) -> None:
         self._provider = provider
         self._network = network
         self._cutoff = cutoff
         self._cache = cache if cache is not None else DistanceCache()
+        self._backend = backend
+        #: Pair distances bulk-resolved by :meth:`prefetch`, keyed by
+        #: the two positions' ``(edge_id, offset)`` pairs, sorted.
+        self._pair_cache: Dict[Tuple, float] = {}
         #: Tracer for cache-hit events and per-Dijkstra spans; the
         #: disabled NULL_TRACER costs one attribute read per distance.
         self.tracer = tracer
@@ -308,6 +454,10 @@ class PairwiseDistanceComputer:
         self.cache_hits = 0
         self.cache_misses = 0
         self.cache_evictions = 0
+        #: Oracle-side work of *this* computer (per-query deltas even
+        #: on a shared oracle); zero on the Dijkstra backend.
+        self.backend_counters = BackendCounters()
+        self.backend_seconds = 0.0
 
     @property
     def cache(self) -> DistanceCache:
@@ -316,6 +466,20 @@ class PairwiseDistanceComputer:
     @property
     def cutoff(self) -> float:
         return self._cutoff
+
+    @property
+    def backend(self) -> Optional[DistanceBackend]:
+        return self._backend
+
+    @property
+    def backend_name(self) -> str:
+        """The distance backend answering this computer's pairs."""
+        return self._backend.name if self._backend is not None else "dijkstra"
+
+    @property
+    def pairwise_seconds(self) -> float:
+        """Total pairwise-evaluation seconds, whichever backend ran."""
+        return self.dijkstra_seconds + self.backend_seconds
 
     def _key(self, pos: NetworkPosition) -> CacheKey:
         return (pos.edge_id, pos.offset, self._cutoff)
@@ -337,10 +501,67 @@ class PairwiseDistanceComputer:
         self.cache_evictions += self._cache.put(self._key(pos), node_map)
         return node_map
 
+    def _pair_key(self, a: NetworkPosition, b: NetworkPosition) -> Tuple:
+        ka, kb = (a.edge_id, a.offset), (b.edge_id, b.offset)
+        return (ka, kb) if ka <= kb else (kb, ka)
+
+    def _backend_distance(self, a: NetworkPosition, b: NetworkPosition) -> float:
+        if self._pair_cache:
+            d = self._pair_cache.get(self._pair_key(a, b))
+            if d is not None:
+                self.cache_hits += 1
+                return d
+        self.cache_misses += 1
+        start = time.perf_counter()
+        d = self._backend.position_distance(
+            a, b, cutoff=self._cutoff, counters=self.backend_counters
+        )
+        elapsed = time.perf_counter() - start
+        self.backend_seconds += elapsed
+        if self.tracer.enabled:
+            self.tracer.add_span(
+                "ch.query", elapsed, start=start,
+                source_edge=a.edge_id, target_edge=b.edge_id,
+                cutoff=self._cutoff,
+            )
+        return d
+
+    def prefetch(self, positions: Iterable[NetworkPosition]) -> int:
+        """Bulk-resolve all pairwise distances of ``positions``.
+
+        Runs the backend oracle's bucket-based many-to-many kernel once
+        and stores the matrix; later :meth:`distance` calls over these
+        positions are O(1) lookups (counted as cache hits).  A no-op
+        returning 0 on the Dijkstra backend, whose per-source node-map
+        cache already amortises the matrix.
+        """
+        if self._backend is None:
+            return 0
+        pos_list = list(positions)
+        if len(pos_list) < 2:
+            return 0
+        start = time.perf_counter()
+        matrix = self._backend.position_matrix(
+            pos_list, cutoff=self._cutoff, counters=self.backend_counters
+        )
+        for (i, j), d in matrix.items():
+            self._pair_cache[self._pair_key(pos_list[i], pos_list[j])] = d
+        elapsed = time.perf_counter() - start
+        self.backend_seconds += elapsed
+        if self.tracer.enabled:
+            self.tracer.add_span(
+                "ch.many_to_many", elapsed, start=start,
+                positions=len(pos_list), pairs=len(matrix),
+                cutoff=self._cutoff,
+            )
+        return len(matrix)
+
     def distance(self, a: NetworkPosition, b: NetworkPosition) -> float:
         """``δ(a, b)``, or ``inf`` when it exceeds the cutoff."""
         if a.edge_id == b.edge_id:
             return abs(a.offset - b.offset)
+        if self._backend is not None:
+            return self._backend_distance(a, b)
         key_a = self._key(a)
         found = self._cache.get(key_a, self._key(b))
         if found is not None:
@@ -365,8 +586,13 @@ class PairwiseDistanceComputer:
     def pairwise(
         self, positions: Iterable[NetworkPosition]
     ) -> Dict[Tuple[int, int], float]:
-        """All pairwise distances among ``positions`` (by index)."""
+        """All pairwise distances among ``positions`` (by index).
+
+        On a backend oracle the whole matrix is resolved through the
+        many-to-many kernel first, so each pair costs one lookup.
+        """
         pos_list = list(positions)
+        self.prefetch(pos_list)
         out: Dict[Tuple[int, int], float] = {}
         for i in range(len(pos_list)):
             for j in range(i + 1, len(pos_list)):

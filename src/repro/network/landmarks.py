@@ -21,30 +21,13 @@ i.e. an honest index-construction cost).
 
 from __future__ import annotations
 
-import heapq
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import GraphError
-from .distance import AdjacencyProvider
+from .distance import AdjacencyProvider, node_source_distances
 from .graph import NetworkPosition, RoadNetwork
 
 __all__ = ["LandmarkIndex"]
-
-
-def _full_dijkstra(
-    provider: AdjacencyProvider, source_node: int
-) -> Dict[int, float]:
-    dist: Dict[int, float] = {}
-    heap: List[Tuple[float, int]] = [(0.0, source_node)]
-    while heap:
-        d, node = heapq.heappop(heap)
-        if node in dist:
-            continue
-        dist[node] = d
-        for _edge, other, weight in provider.neighbors(node):
-            if other not in dist:
-                heapq.heappush(heap, (d + weight, other))
-    return dist
 
 
 class LandmarkIndex:
@@ -71,7 +54,7 @@ class LandmarkIndex:
         current = start
         min_dist: Dict[int, float] = {}
         for _ in range(min(num_landmarks, network.num_nodes)):
-            node_map = _full_dijkstra(provider, current)
+            node_map = node_source_distances(provider, current)
             self._landmarks.append(current)
             self._maps.append(node_map)
             # Farthest-point step: the next landmark maximises the

@@ -76,6 +76,9 @@ def _describe_query_diversified(span: Span) -> str:
         f"objective {_num(a.get('objective_value', '?'))}, "
         f"{_ms(span.duration)}"
     )
+    backend = a.get("backend")
+    if backend and backend != "dijkstra":
+        line += f"  [distances via {backend}]"
     if a.get("terminated_early"):
         line += "  [expansion terminated early]"
     return line
@@ -115,6 +118,22 @@ def _describe_pairwise(span: Span) -> str:
     return (
         f"pairwise Dijkstra from edge {a.get('source_edge', '?')}: "
         f"{a.get('map_nodes', '?')} nodes mapped in {_ms(span.duration)}"
+    )
+
+
+def _describe_ch_query(span: Span) -> str:
+    a = span.attrs
+    return (
+        f"CH point query edge {a.get('source_edge', '?')} → "
+        f"edge {a.get('target_edge', '?')} in {_ms(span.duration)}"
+    )
+
+
+def _describe_ch_many_to_many(span: Span) -> str:
+    a = span.attrs
+    return (
+        f"CH many-to-many: {a.get('positions', '?')} positions → "
+        f"{a.get('pairs', '?')} matrix pairs in {_ms(span.duration)}"
     )
 
 
@@ -198,6 +217,8 @@ _FORMATTERS = {
     "ine.round": _describe_ine_round,
     "signature.filter": _describe_signature_filter,
     "pairwise.dijkstra": _describe_pairwise,
+    "ch.query": _describe_ch_query,
+    "ch.many_to_many": _describe_ch_many_to_many,
     "com.round": _describe_com_round,
     "com.maintenance": _describe_com_maintenance,
     "greedy.select": _describe_greedy,

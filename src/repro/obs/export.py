@@ -236,6 +236,20 @@ def database_gauges(db) -> Dict[str, float]:
         gauges["distance_cache.hit_rate"] = (
             stats["hits"] / lookups if lookups else 0.0
         )
+    backend = getattr(db, "distance_backend", None)
+    if backend is not None:
+        # One-hot backend label: repro_distance_backend_ch 1.0 says the
+        # scrape came from a CH-backed run without needing label pairs.
+        for name in ("dijkstra", "ch"):
+            gauges[f"distance_backend.{name}"] = (
+                1.0 if backend == name else 0.0
+            )
+    oracle = getattr(db, "_ch_oracle", None)
+    if oracle is not None:
+        gauges["ch.preprocess_seconds"] = float(oracle.preprocess_seconds)
+        gauges["ch.shortcuts_added"] = float(oracle.shortcuts_added)
+        gauges["ch.upward_edges"] = float(oracle.upward_edges)
+        gauges["ch.nodes"] = float(oracle.num_nodes)
     disk = getattr(db, "disk", None)
     buffer = getattr(disk, "buffer", None)
     if buffer is not None:

@@ -47,6 +47,10 @@ def stats_to_dict(stats) -> Dict[str, Any]:
         "false_hit_objects": stats.false_hit_objects,
         "candidates": stats.candidates,
         "pairwise_dijkstras": stats.pairwise_dijkstras,
+        "distance_backend": stats.distance_backend,
+        "backend_queries": stats.backend_queries,
+        "backend_settled_nodes": stats.backend_settled_nodes,
+        "backend_bucket_hits": stats.backend_bucket_hits,
         "expansion_terminated_early": stats.expansion_terminated_early,
         "stage_seconds": dict(stats.stage_seconds),
         "distance_cache": {
@@ -199,6 +203,7 @@ class SlowQueryLog:
                 "label": label,
                 "kind": kind,
                 "algorithm": algorithm,
+                "distance_backend": stats.distance_backend,
                 "worker": worker,
                 "wall_seconds": stats.wall_seconds,
                 "nodes_accessed": stats.nodes_accessed,

@@ -1,0 +1,182 @@
+"""The DistanceBackend seam: dijkstra vs CH through the full engine.
+
+The acceptance bar for the CH backend is *identical answers* — same
+object ids, same objective values — on every SK/diversified scenario,
+with the backend visible in plans, stats, metrics records, slow-query
+logs and Prometheus exports.
+"""
+
+import math
+
+import pytest
+
+from repro.core.database import Database
+from repro.core.queries import DiversifiedSKQuery
+from repro.datasets.synthetic import random_planar_network
+from repro.errors import QueryError
+from repro.obs.export import database_gauges, prometheus_text
+from repro.obs.slowlog import SlowQueryThreshold
+from repro.workloads.queries import WorkloadConfig, generate_diversified_queries
+
+
+@pytest.fixture()
+def restore_backend(tiny_db):
+    """Leave the session-scoped database on the default backend."""
+    yield tiny_db
+    tiny_db.use_distance_backend("dijkstra")
+
+
+def _run_workload(db, index, queries, method):
+    out = []
+    for query in queries:
+        result = db.diversified_search(index, query, method=method)
+        out.append(
+            (result.object_ids(), round(result.objective_value, 9))
+        )
+    return out
+
+
+class TestBackendSelection:
+    def test_unknown_backend_rejected(self, restore_backend):
+        with pytest.raises(QueryError):
+            restore_backend.use_distance_backend("astar")
+
+    def test_constructor_selects_backend(self):
+        db = Database(random_planar_network(30, seed=2),
+                      distance_backend="ch")
+        assert db.distance_backend == "ch"
+        assert db.pairwise_backend() is db.ch_oracle()
+
+    def test_default_is_dijkstra(self, tiny_db):
+        assert tiny_db.distance_backend == "dijkstra"
+        assert tiny_db.pairwise_backend() is None
+
+    def test_oracle_built_once_and_recorded(self, restore_backend):
+        db = restore_backend
+        db.use_distance_backend("ch")
+        oracle = db.ch_oracle()
+        assert db.ch_oracle() is oracle
+        counters = db.metrics.snapshot()["counters"]
+        assert counters["ch.shortcuts_added"] == oracle.shortcuts_added
+        assert counters["ch.upward_edges"] == oracle.upward_edges
+
+
+class TestAnswerEquivalence:
+    def test_seq_and_com_identical_across_backends(
+        self, restore_backend, tiny_indexes
+    ):
+        db = restore_backend
+        index = tiny_indexes["sif"]
+        config = WorkloadConfig(
+            num_queries=8, num_keywords=2, k=5, seed=71
+        )
+        queries = generate_diversified_queries(db, config)
+        before = db.metrics.snapshot()["counters"]
+        db.use_distance_backend("dijkstra")
+        want = {
+            method: _run_workload(db, index, queries, method)
+            for method in ("seq", "com")
+        }
+        db.use_distance_backend("ch")
+        got = {
+            method: _run_workload(db, index, queries, method)
+            for method in ("seq", "com")
+        }
+        assert got == want
+        # The session-shared registry may carry earlier tests' queries:
+        # compare the per-backend counter *deltas* of this workload.
+        after = db.metrics.snapshot()["counters"]
+
+        def delta(name):
+            return after.get(name, 0) - before.get(name, 0)
+
+        assert delta("query.backend.ch") == 2 * len(queries)
+        assert delta("query.backend.ch") == delta("query.backend.dijkstra")
+
+    def test_stats_carry_backend_counters(self, restore_backend, tiny_indexes):
+        db = restore_backend
+        db.use_distance_backend("ch")
+        index = tiny_indexes["sif"]
+        config = WorkloadConfig(num_queries=4, num_keywords=2, k=5, seed=71)
+        stats = [
+            db.diversified_search(index, q, method="seq").stats
+            for q in generate_diversified_queries(db, config)
+        ]
+        assert all(s.distance_backend == "ch" for s in stats)
+        # At least one query in the batch has >= 2 candidates and so
+        # issued CH work; its settled-node counter must move too.
+        busy = [s for s in stats if s.backend_queries]
+        assert busy
+        assert all(s.backend_settled_nodes > 0 for s in busy)
+        assert all(s.pairwise_dijkstras == 0 for s in stats)
+
+    def test_plan_records_backend(self, restore_backend, tiny_indexes):
+        db = restore_backend
+        index = tiny_indexes["sif"]
+        query = DiversifiedSKQuery.create(
+            db.network.node_position(0), ["a"], delta_max=1000.0, k=3
+        )
+        db.use_distance_backend("ch")
+        plan = db.plan(index, query, method="com")
+        assert plan.hints.distance_backend == "ch"
+        assert "distance backend: ch" in plan.describe()
+        db.use_distance_backend("dijkstra")
+        plan = db.plan(index, query, method="com")
+        assert plan.hints.distance_backend == "dijkstra"
+        assert "distance backend: dijkstra" in plan.describe()
+
+
+class TestObservability:
+    def test_slowlog_records_backend(self, restore_backend, tiny_indexes):
+        db = restore_backend
+        db.use_distance_backend("ch")
+        log = db.enable_slow_query_log(latency_seconds=0.0)
+        try:
+            index = tiny_indexes["sif"]
+            config = WorkloadConfig(
+                num_queries=2, num_keywords=2, k=4, seed=71
+            )
+            for query in generate_diversified_queries(db, config):
+                db.diversified_search(index, query, method="com")
+            records = log.records()
+            assert records
+            for record in records:
+                assert record["distance_backend"] == "ch"
+                assert record["stats"]["distance_backend"] == "ch"
+                assert "backend_settled_nodes" in record["stats"]
+        finally:
+            db.disable_slow_query_log()
+
+    def test_prometheus_gauges_carry_backend(self, restore_backend):
+        db = restore_backend
+        db.use_distance_backend("ch")
+        db.ch_oracle()
+        gauges = database_gauges(db)
+        assert gauges["distance_backend.ch"] == 1.0
+        assert gauges["distance_backend.dijkstra"] == 0.0
+        assert gauges["ch.shortcuts_added"] >= 0.0
+        assert gauges["ch.preprocess_seconds"] > 0.0
+        text = prometheus_text(db.metrics, gauges=gauges)
+        assert "repro_distance_backend_ch 1.0" in text
+        assert "repro_ch_preprocess_seconds" in text
+
+    def test_dijkstra_run_exports_zero_ch_gauge(self, tiny_db):
+        gauges = database_gauges(tiny_db)
+        assert gauges["distance_backend.dijkstra"] == 1.0
+        assert gauges["distance_backend.ch"] == 0.0
+
+    def test_explain_renders_backend(self, restore_backend, tiny_indexes):
+        db = restore_backend
+        db.use_distance_backend("ch")
+        query = DiversifiedSKQuery.create(
+            db.network.node_position(3),
+            ["a"],
+            delta_max=2000.0,
+            k=3,
+        )
+        report = db.explain(
+            tiny_indexes["sif"], query, method="com",
+            slow_threshold=SlowQueryThreshold(latency_seconds=math.inf),
+        )
+        rendered = report.render()
+        assert "distance backend: ch" in rendered

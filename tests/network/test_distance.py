@@ -7,10 +7,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+import heapq
+
 from repro.datasets.synthetic import random_planar_network
 from repro.network.distance import (
     PairwiseDistanceComputer,
     network_distance,
+    node_source_distances,
     position_distance_from_node_map,
     seed_distances,
     single_source_distances,
@@ -66,6 +69,80 @@ class TestSingleSource:
         assert set(dist) == set(expected)
         for node, d in expected.items():
             assert dist[node] == pytest.approx(d)
+
+
+def _reference_single_source(provider, network, pos, cutoff=math.inf):
+    """The pre-optimisation Dijkstra: pushes every relaxation onto the
+    heap (no tentative-distance domination check).  The heap-discipline
+    tests assert the optimised kernels return *identical* node maps."""
+    seeds = {
+        node: d for node, d in seed_distances(network, pos).items()
+        if d <= cutoff
+    }
+    dist = {}
+    heap = [(d, node) for node, d in seeds.items()]
+    heapq.heapify(heap)
+    while heap:
+        d, node = heapq.heappop(heap)
+        if node in dist:
+            continue
+        dist[node] = d
+        for _edge, other, weight in provider.neighbors(node):
+            nd = d + weight
+            if other not in dist and nd <= cutoff:
+                heapq.heappush(heap, (nd, other))
+    return dist
+
+
+class TestHeapDiscipline:
+    """The dominated-entry suppression must not change any node map."""
+
+    @pytest.mark.parametrize("seed", [1, 2, 3])
+    @pytest.mark.parametrize("cutoff", [math.inf, 3000.0, 500.0])
+    def test_single_source_identical_node_maps(self, seed, cutoff):
+        import numpy as np
+
+        network = random_planar_network(100, seed=seed)
+        rng = np.random.default_rng(seed)
+        edges = list(network.edges())
+        for _ in range(10):
+            edge = edges[int(rng.integers(len(edges)))]
+            pos = NetworkPosition(
+                edge.edge_id, float(rng.uniform(0, edge.weight))
+            )
+            got = single_source_distances(network, network, pos, cutoff=cutoff)
+            want = _reference_single_source(network, network, pos, cutoff=cutoff)
+            assert got == want  # identical keys AND values, exactly
+
+    def test_node_source_matches_networkx(self):
+        network = random_planar_network(90, seed=44)
+        g = to_networkx(network)
+        for source in (0, 13, 57):
+            got = node_source_distances(network, source)
+            want = nx.single_source_dijkstra_path_length(g, source)
+            assert set(got) == set(want)
+            for node, d in want.items():
+                assert got[node] == pytest.approx(d)
+
+    def test_node_source_cutoff_and_targets(self, paper_network):
+        full = node_source_distances(paper_network, 0)
+        bounded = node_source_distances(paper_network, 0, cutoff=15.0)
+        assert bounded == {
+            node: d for node, d in full.items() if d <= 15.0
+        }
+        early = node_source_distances(paper_network, 0, targets={1})
+        assert early[1] == pytest.approx(full[1])
+
+    def test_node_source_ignore_excludes_node(self, paper_network):
+        # Ignoring node 4 severs every path through it — what CH
+        # witness searches rely on.
+        dist = node_source_distances(paper_network, 1, ignore=4)
+        assert 4 not in dist
+        assert dist[5] == pytest.approx(21.0)  # 1 -> 2 (12) -> 5 (9)
+
+    def test_node_source_max_settled_budget(self, paper_network):
+        dist = node_source_distances(paper_network, 0, max_settled=3)
+        assert len(dist) == 3
 
 
 class TestPointToPoint:

@@ -51,6 +51,39 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "SEQ" in out and "COM" in out
 
+    def test_diversify_ch_backend(self, tmp_path, capsys):
+        path = tmp_path / "metrics.jsonl"
+        assert main([
+            "diversify", "SYN", "--scale", "0.05", "--queries", "3",
+            "--keywords", "2", "--k", "4", "--distance-backend", "ch",
+            "--metrics", str(path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "SEQ" in out and "COM" in out
+        records = [json.loads(line) for line in path.read_text().splitlines()]
+        query_records = [r for r in records if r["type"] == "query"]
+        assert query_records
+        assert all(
+            r["distance_backend"] == "ch" for r in query_records
+        )
+        build_records = [r for r in records if r["type"] == "ch_build"]
+        assert len(build_records) == 1
+        assert build_records[0]["preprocess_seconds"] > 0
+
+    def test_explain_ch_backend(self, capsys):
+        assert main([
+            "explain", "SYN", "--scale", "0.05", "--keywords", "2",
+            "--distance-backend", "ch",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "distance backend: ch" in out
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["diversify", "SYN", "--distance-backend", "astar"]
+            )
+
     def test_metrics_file(self, tmp_path, capsys):
         path = tmp_path / "metrics.jsonl"
         assert main([
