@@ -6,6 +6,7 @@ Commands
 ``generate``  build a dataset profile and save it as a JSON snapshot
 ``sk``        run an SK workload against one index and print the report
 ``diversify`` run a diversified workload (SEQ and COM) and print both
+``update``    run a mixed update+query workload against a live database
 ``compare``   run one workload against every index kind (mini Fig. 6)
 ``explain``   run ONE query under tracing and print its pruning report
 ``slowlog``   render a persisted slow-query log (JSON lines) as text
@@ -169,6 +170,56 @@ def build_parser() -> argparse.ArgumentParser:
         "--distance-cache", type=_positive_int, default=None, metavar="ENTRIES",
         help="share a bounded LRU distance cache (capacity in node-map "
              "entries) across the workload's queries",
+    )
+
+    p = sub.add_parser(
+        "update",
+        help="mixed update+query workload against a live database",
+    )
+    add_dataset_args(p)
+    add_workload_args(p)
+    p.add_argument("--index", choices=INDEX_KINDS, default="sif")
+    p.add_argument("--k", type=int, default=6)
+    p.add_argument("--lambda", dest="lambda_", type=float, default=0.8)
+    p.add_argument(
+        "--method", choices=("seq", "com"), default="seq",
+        help="diversified algorithm for the query batches (default seq)",
+    )
+    p.add_argument(
+        "--batches", type=_positive_int, default=4, metavar="N",
+        help="query batches; updates apply between them (default 4)",
+    )
+    p.add_argument(
+        "--updates-per-batch", type=int, default=20, metavar="N",
+        help="updates applied between consecutive batches (default 20)",
+    )
+    p.add_argument(
+        "--update-seed", type=int, default=202,
+        help="seed for the update generator (default 202)",
+    )
+    p.add_argument(
+        "--insert-weight", type=float, default=0.4,
+        help="relative weight of object inserts in the mix",
+    )
+    p.add_argument(
+        "--delete-weight", type=float, default=0.4,
+        help="relative weight of object deletes in the mix",
+    )
+    p.add_argument(
+        "--edge-weight-weight", type=float, default=0.2,
+        help="relative weight of edge reweights in the mix",
+    )
+    p.add_argument(
+        "--distance-cache", type=_positive_int, default=None,
+        metavar="ENTRIES",
+        help="share a bounded LRU distance cache across the workload "
+             "(epoch-gated: edge reweights invalidate it)",
+    )
+    p.add_argument(
+        "--result-cache", type=_positive_int, default=None,
+        metavar="ENTRIES",
+        help="install a semantic result cache validated against the "
+             "update journal",
     )
 
     p = sub.add_parser("compare", help="one workload, every index kind")
@@ -447,6 +498,54 @@ def main(argv: Optional[List[str]] = None) -> int:
                               f"(k={args.k}, lambda={args.lambda_})")
             if db.distance_cache is not None:
                 print(f"Shared distance cache: {db.distance_cache.stats()}",
+                      file=sys.stderr)
+            _write_observability(db, args)
+            _report_slow_log(db)
+            rc = _check_slo(db, args)
+        except BaseException:
+            _close_metrics_sink(db, sink, error=True)
+            raise
+        _close_metrics_sink(db, sink)
+        return rc
+
+    if args.command == "update":
+        from .workloads.updates import UpdateWorkloadConfig, run_update_workload
+
+        db = _build_db(args)
+        sink = _attach_metrics_sink(db, args)
+        _enable_tracing(db, args)
+        _enable_slow_log(db, args)
+        try:
+            if args.distance_cache is not None:
+                db.use_shared_distance_cache(max_entries=args.distance_cache)
+            if args.result_cache is not None:
+                db.use_result_cache(max_entries=args.result_cache)
+            index = db.build_index(args.index)
+            queries = generate_diversified_queries(
+                db, _config(args, k=args.k, lambda_=args.lambda_)
+            )
+            update_config = UpdateWorkloadConfig(
+                updates_per_batch=args.updates_per_batch,
+                num_batches=args.batches,
+                insert_weight=args.insert_weight,
+                delete_weight=args.delete_weight,
+                edge_weight_weight=args.edge_weight_weight,
+                seed=args.update_seed,
+            )
+            report = run_update_workload(
+                db, index, queries, update_config,
+                method=args.method, workers=args.workers,
+            )
+            print_table(
+                [report.row()],
+                f"Mixed update workload on {args.profile} "
+                f"(epoch {report.final_epoch})",
+            )
+            if db.distance_cache is not None:
+                print(f"Shared distance cache: {db.distance_cache.stats()}",
+                      file=sys.stderr)
+            if db.result_cache is not None:
+                print(f"Result cache: {db.result_cache.stats()}",
                       file=sys.stderr)
             _write_observability(db, args)
             _report_slow_log(db)

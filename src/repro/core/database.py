@@ -44,6 +44,7 @@ from ..spatial.zorder import ZOrderCurve
 from ..storage.pagefile import DiskManager
 from .knn import SKkNNQuery
 from .queries import DiversifiedResult, DiversifiedSKQuery, QueryStats, SKQuery, SKResult
+from .updates import UpdateJournal, UpdateRecord
 
 __all__ = ["Database", "INDEX_KINDS"]
 
@@ -118,6 +119,20 @@ class Database:
         self._keyword_frequencies: Optional[Dict[str, int]] = None
         self._engine: Optional[QueryEngine] = None
         self._frozen = False
+        #: Monotonic data epoch.  Every committed dynamic update —
+        #: insert, delete, edge reweight — advances it by one; queries
+        #: pin the epoch they execute against
+        #: (``ExecutionContext.epoch``) and version-gated state (the
+        #: shared distance cache, the CH oracle, the result cache)
+        #: compares against it.
+        self.data_version = 0
+        #: Ordered history of committed updates (see
+        #: :mod:`repro.core.updates`).
+        self.update_journal = UpdateJournal()
+        #: Optional semantic result cache
+        #: (see :meth:`use_result_cache`).
+        self.result_cache = None
+        self._min_weight_per_length: Optional[float] = None
 
     # ------------------------------------------------------------------
     # Loading
@@ -160,10 +175,12 @@ class Database:
         """Dynamic insertion into a *live* (frozen) database.
 
         The object joins the store in visiting order and its postings
-        and signature bits are pushed into every index in ``indexes``.
-        Only IF and SIF support dynamic maintenance; SIF-P's partitions
-        and IR's packed R-trees are rebuilt offline in this
-        reproduction, as in the paper's static setting.
+        and signature bits are pushed into every index in ``indexes``
+        (IF, SIF and SIF-P maintain themselves incrementally; IR's
+        packed R-trees are rebuilt offline, as in the paper's static
+        setting).  Commits bump :attr:`data_version` and journal the
+        change; network distances are untouched, so the shared distance
+        cache and CH oracle stay valid.
         """
         self.ensure_frozen()
         self._keyword_frequencies = None
@@ -176,7 +193,129 @@ class Database:
                     f"index {index.name} does not support dynamic insertion"
                 )
             insert(obj)
+        self._commit_update(UpdateRecord(
+            epoch=self.data_version + 1,
+            kind="insert",
+            edge_id=position.edge_id,
+            terms=obj.keywords,
+            position=obj.position,
+            point=self.network.position_point(obj.position),
+            object_id=obj.object_id,
+        ))
         return obj
+
+    def delete_object(
+        self, object_id: int, indexes: Iterable[ObjectIndex] = ()
+    ) -> SpatioTextualObject:
+        """Dynamic deletion from a *live* (frozen) database.
+
+        The object leaves the store first, then every index in
+        ``indexes`` drops its postings — in that order, because SIF's
+        conditional signature-bit clearing checks what *remains* on the
+        edge.  Like insertion this bumps :attr:`data_version` without
+        touching distance state.
+        """
+        self.ensure_frozen()
+        self._keyword_frequencies = None
+        obj = self.store.remove(object_id)
+        for index in indexes:
+            delete = getattr(index, "delete_object", None)
+            if delete is None:
+                raise QueryError(
+                    f"index {index.name} does not support dynamic deletion"
+                )
+            delete(obj)
+        self._commit_update(UpdateRecord(
+            epoch=self.data_version + 1,
+            kind="delete",
+            edge_id=obj.position.edge_id,
+            terms=obj.keywords,
+            position=obj.position,
+            point=self.network.position_point(obj.position),
+            object_id=obj.object_id,
+        ))
+        return obj
+
+    def update_edge_weight(
+        self,
+        edge_id: int,
+        weight: float,
+        indexes: Iterable[ObjectIndex] = (),
+    ) -> None:
+        """Change one edge's traversal cost on a *live* database.
+
+        This is the distance-changing update, so it does everything the
+        object paths do not: the in-memory graph and its CCAM pages are
+        patched, object offsets on the edge (which are in weight units)
+        are rescaled so objects keep their geometric spot, indexes with
+        positional state rescale theirs (SIF-P's virtual-edge cuts),
+        the CH oracle is dropped for lazy rebuild against the new
+        weights, and the shared distance cache is invalidated at the
+        new epoch — after which no query pinned to the new epoch can
+        observe a pre-update node map (stale in-flight writers are
+        rejected by the cache's epoch gate).
+        """
+        self.ensure_frozen()
+        old = self.network.edge(edge_id)
+        if weight == old.weight:
+            return
+        factor = weight / old.weight
+        self.network.update_edge_weight(edge_id, weight)
+        self.ccam.refresh_edge(edge_id)
+        self.store.rescale_edge_offsets(edge_id, factor)
+        for index in indexes:
+            rescale = getattr(index, "rescale_edge", None)
+            if rescale is not None:
+                rescale(edge_id, factor)
+        if self._ch_oracle is not None:
+            # Lazy rebuild: drop the oracle; the next query that needs
+            # it pays one preprocessing pass against current weights.
+            # Repairing affected shortcuts in place would be cheaper per
+            # update but unsound to get subtly wrong — DESIGN.md
+            # "Dynamic updates" records the trade-off.
+            self._ch_oracle = None
+            self.metrics.inc("ch.invalidations")
+        ratio = weight / old.length
+        if (
+            self._min_weight_per_length is not None
+            and ratio < self._min_weight_per_length
+        ):
+            self._min_weight_per_length = ratio
+        # Invalidate BEFORE publishing the new epoch: queries pinned to
+        # the new data_version must find the cache already cleared.  In
+        # the window between the two steps, old-epoch readers just miss
+        # (their epoch is below the cache's) — safe, only slower.
+        if self.distance_cache is not None:
+            self.distance_cache.invalidate(self.data_version + 1)
+        self._commit_update(UpdateRecord(
+            epoch=self.data_version + 1,
+            kind="edge_weight",
+            edge_id=edge_id,
+            weight=weight,
+        ))
+
+    def _commit_update(self, record: UpdateRecord) -> None:
+        """Advance the epoch, journal the record, count it."""
+        self.data_version = record.epoch
+        self.update_journal.append(record)
+        self.metrics.inc(f"update.{record.kind}")
+
+    def min_weight_per_length(self) -> float:
+        """Smallest ``weight / length`` ratio over all edges.
+
+        Network distance between two points is at least this ratio
+        times their Euclidean distance, which gives the result cache a
+        cheap relevance test for updates far from a cached query's
+        region.  Computed lazily; edge reweights maintain it
+        *shrink-only* (a raised weight never raises the stored minimum),
+        keeping the bound conservative without a rescan.
+        """
+        if self._min_weight_per_length is None:
+            self._min_weight_per_length = min(
+                (e.weight / e.length for e in self.network.edges()),
+                default=1.0,
+            )
+        return self._min_weight_per_length
 
     def _ensure_not_frozen(self) -> None:
         if self._frozen:
@@ -302,6 +441,22 @@ class Database:
             max_entries=max_entries
         )
         return self.distance_cache
+
+    def use_result_cache(self, max_entries: int = 256):
+        """Install a semantic result cache for diversified queries.
+
+        Subsequent :meth:`diversified_search` calls probe it before
+        executing; a hit returns the cached answer with a fresh stats
+        object (``result_cache_hit=True``) and near-zero work.  Entries
+        are validated lazily against the update journal (see
+        :mod:`repro.engine.result_cache`): an update only evicts the
+        answers whose keyword/region it could actually have changed.
+        ``db.result_cache = None`` uninstalls.
+        """
+        from ..engine.result_cache import ResultCache
+
+        self.result_cache = ResultCache(max_entries=max_entries)
+        return self.result_cache
 
     # ------------------------------------------------------------------
     # Distance backends
@@ -496,6 +651,8 @@ class Database:
             m.inc("query.diversified_count")
             if stats.expansion_terminated_early:
                 m.inc("query.early_terminations")
+        if stats.result_cache_hit:
+            m.inc("query.result_cache_hits")
         if stats.io is not None:
             m.inc("io.logical_reads", stats.io.logical_reads)
             m.inc("io.physical_reads", stats.io.physical_reads)
@@ -504,6 +661,8 @@ class Database:
             "type": "query",
             "kind": kind,
             "label": label,
+            "epoch": stats.epoch,
+            "result_cache_hit": stats.result_cache_hit,
             "wall_seconds": stats.wall_seconds,
             "stages": dict(stats.stage_seconds),
             "candidates": stats.candidates,

@@ -124,6 +124,11 @@ class QueryStats:
     backend_queries: int = 0
     backend_settled_nodes: int = 0
     backend_bucket_hits: int = 0
+    #: Data epoch the query executed against (``Database.data_version``
+    #: pinned at context entry); 0 on a never-updated database.
+    epoch: int = 0
+    #: Whether the answer was served from the semantic result cache.
+    result_cache_hit: bool = False
 
     @property
     def physical_reads(self) -> int:

@@ -73,6 +73,12 @@ class ExecutionContext:
                 self._collector = collector
             else:
                 self.tracer = db.tracer if db.tracer is not None else NULL_TRACER
+        #: Data epoch this execution is pinned to, sampled once at
+        #: context creation.  The pairwise computer passes it to every
+        #: shared distance-cache access, so a query that started before
+        #: an edge-weight update can neither read post-update maps nor
+        #: write its pre-update maps back after the invalidation.
+        self.epoch = getattr(db, "data_version", 0)
         #: Fresh per-execution index load counters; merged into the
         #: index's lifetime counters when the context closes.
         self.counters = LoadCounters()
@@ -120,6 +126,7 @@ class ExecutionContext:
         if self.io_scope is None:
             raise RuntimeError("finalise() outside the execution context")
         stats.io = self.io_scope.snapshot()
+        stats.epoch = self.epoch
         stats.buffer_evictions = self.buffer_scope.evictions
         stats.objects_loaded = self.counters.objects_loaded
         stats.false_hit_objects = self.counters.false_hit_objects

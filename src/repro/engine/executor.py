@@ -160,8 +160,37 @@ class QueryEngine:
         db = self.db
         query = plan.query
         t = ctx.tracer
+        result_cache = getattr(db, "result_cache", None)
+        if result_cache is not None:
+            cached = result_cache.get(
+                db, plan.index.name, query, plan.algorithm
+            )
+            if cached is not None:
+                # Serve the cached answer under a fresh stats object:
+                # this execution did (almost) no work, and the original
+                # run's counters must not be double-recorded.
+                stats = QueryStats(
+                    candidates=len(cached.items),
+                    result_cache_hit=True,
+                    distance_backend=db.distance_backend,
+                )
+                ctx.finalise(stats)
+                if t.enabled:
+                    t.event(
+                        "result_cache.hit", index=plan.index.name,
+                        method=plan.algorithm.upper(),
+                    )
+                from ..core.queries import DiversifiedResult
+
+                return DiversifiedResult(
+                    items=cached.items,
+                    objective_value=cached.objective_value,
+                    method=cached.method,
+                    stats=stats,
+                )
         # One computer per query; the cache behind it may be shared
-        # (and is lock-protected), the computer never is.
+        # (and is lock-protected), the computer never is.  The context's
+        # pinned epoch gates every shared-cache read and write.
         pairwise = PairwiseDistanceComputer(
             db.ccam,
             db.network,
@@ -169,6 +198,7 @@ class QueryEngine:
             cache=db.distance_cache,
             tracer=t,
             backend=db.pairwise_backend(),
+            epoch=ctx.epoch if db.distance_cache is not None else None,
         )
         with t.span(
             "query.diversified", method=plan.algorithm.upper(),
@@ -203,6 +233,10 @@ class QueryEngine:
                     ),
                 )
         ctx.finalise(result.stats)
+        if result_cache is not None:
+            result_cache.put(
+                db, plan.index.name, query, plan.algorithm, result
+            )
         return result
 
     def _offer_slow_log(

@@ -67,6 +67,14 @@ class CostHints:
     #: How pairwise network distances will be evaluated: ``"dijkstra"``
     #: (bounded Dijkstras) or ``"ch"`` (Contraction-Hierarchies oracle).
     distance_backend: str = "dijkstra"
+    #: Data epoch the hints were computed at.  A plan built before an
+    #: update executes against newer statistics; ``repro explain`` and
+    #: slow-query triage can see the skew.
+    data_version: int = 0
+    #: Journal length at plan time — how dynamic this database has been.
+    #: Many recent updates mean catalogue statistics (and any cached
+    #: answers) are more likely to be stale.
+    recent_updates: int = 0
 
     @property
     def rarest_term(self) -> Optional[str]:
@@ -139,6 +147,11 @@ class QueryPlan:
                 f"{h.estimated_matches:.1f} "
                 f"(selectivity {h.selectivity:.2%})"
             )
+            if h.data_version or h.recent_updates:
+                lines.append(
+                    f"  dynamic: epoch {h.data_version}, "
+                    f"{h.recent_updates} journaled updates"
+                )
         if self.rationale:
             lines.append(f"  rationale: {self.rationale}")
         return "\n".join(lines)
@@ -163,6 +176,8 @@ def _cost_hints(db: "Database", terms) -> CostHints:
         estimated_matches=estimated,
         selectivity=(estimated / num_objects) if num_objects else 0.0,
         distance_backend=getattr(db, "distance_backend", "dijkstra"),
+        data_version=getattr(db, "data_version", 0),
+        recent_updates=len(getattr(db, "update_journal", ())),
     )
 
 

@@ -205,3 +205,30 @@ class InvertedFileIndex(ObjectIndex):
                 )
                 pages.append(page_no)
                 self._pages_per_term[term] = self._pages_per_term.get(term, 0) + 1
+
+    def delete_object(self, obj: SpatioTextualObject) -> None:
+        """Remove one object's postings (dynamic maintenance).
+
+        Postings matching ``(edge, object_id)`` are filtered out of the
+        edge's pages in place.  Pages are *not* reclaimed when they
+        empty — like the insert path, the layout is append-only and a
+        rebuild compacts it; emptied pages simply stop yielding
+        postings.  Filtering keys on the edge too because postings
+        pages are shared between Z-order-adjacent edges.
+        """
+        key = edge_zorder_key(self._curve, self._network, obj.position.edge_id)
+        for term in obj.keywords:
+            tree = self._trees.get(term)
+            pages = tree.search(key) if tree is not None else None
+            if pages is None:
+                continue
+            for page_no in pages:
+                payload = self._postings.read_unbuffered(page_no)
+                kept = [
+                    p for p in payload
+                    if not (p[0] == key and p[1] == obj.object_id)
+                ]
+                if len(kept) != len(payload):
+                    self._postings.rewrite(
+                        page_no, kept, size_bytes=len(kept) * POSTING_BYTES
+                    )

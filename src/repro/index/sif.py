@@ -85,3 +85,17 @@ class SIFIndex(ObjectIndex):
         self._inverted.insert_object(obj)
         for term in obj.keywords:
             self._signatures.set_bit(obj.position.edge_id, term)
+
+    def delete_object(self, obj) -> None:
+        """Dynamic maintenance: drop postings, clear orphaned bits.
+
+        Must run *after* ``ObjectStore.remove`` — a signature bit is
+        cleared only when no surviving object on the edge still carries
+        the term, and that check reads the store's current state.
+        """
+        self._inverted.delete_object(obj)
+        edge_id = obj.position.edge_id
+        remaining = self._store.objects_on_edge(edge_id)
+        for term in obj.keywords:
+            if not any(term in o.keywords for o in remaining):
+                self._signatures.clear_bit(edge_id, term)

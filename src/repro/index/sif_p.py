@@ -14,6 +14,7 @@ of cuts (3 in the experiments); the partition is chosen by the greedy
 
 from __future__ import annotations
 
+import bisect
 import time
 from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
@@ -97,6 +98,14 @@ class SIFPIndex(ObjectIndex):
         self._pages_per_term: Dict[str, int] = {}
         #: edge_id -> inclusive (start, end) object ranges (visiting order)
         self._segments: Dict[int, List[Tuple[int, int]]] = {}
+        #: edge_id -> cut *offsets*: the offset of the first object of
+        #: each segment after the first, frozen at build time.  The
+        #: build-time cuts are positional (between object ranks), but
+        #: ranks shift under insert/delete; anchoring each cut at an
+        #: offset makes virtual-edge membership a stable function of
+        #: position, so dynamic maintenance can place new objects and
+        #: recompute the positional ranges from the current store.
+        self._boundaries: Dict[int, List[float]] = {}
         #: term -> set of (edge_id, virtual_idx) with the bit set
         self._bits: Dict[str, Set[Tuple[int, int]]] = {}
         self._unsigned_terms: Set[str] = set()
@@ -147,6 +156,10 @@ class SIFPIndex(ObjectIndex):
                 cuts = self._partition_edge(kws)
             segments = segments_from_cuts(len(objects), cuts)
             self._segments[edge_id] = segments
+            self._boundaries[edge_id] = [
+                objects[seg_start].position.offset
+                for seg_start, _seg_end in segments[1:]
+            ]
             key = edge_zorder_key(self._curve, self._network, edge_id)
             for v_idx, (seg_start, seg_end) in enumerate(segments):
                 for obj in objects[seg_start : seg_end + 1]:
@@ -303,3 +316,139 @@ class SIFPIndex(ObjectIndex):
                 if segs and len(segs) > 1:
                     extra_bits += len(segs) - 1
         return total + (extra_bits + 7) // 8
+
+    # ------------------------------------------------------------------
+    # Dynamic updates
+    # ------------------------------------------------------------------
+    def _virtual_index(self, edge_id: int, offset: float) -> int:
+        """Virtual edge containing ``offset`` (cuts are offsets)."""
+        boundaries = self._boundaries.get(edge_id)
+        if not boundaries:
+            return 0
+        return bisect.bisect_right(boundaries, offset)
+
+    def _recompute_segments(self, edge_id: int) -> None:
+        """Rebuild the positional (start, end) ranges from the cut
+        offsets and the store's current visiting order.
+
+        An emptied virtual edge keeps its slot as a ``(start, start-1)``
+        range so surviving segments keep their ``v_idx`` — postings and
+        signature bits reference segments by index.
+        """
+        boundaries = self._boundaries.setdefault(edge_id, [])
+        counts = [0] * (len(boundaries) + 1)
+        for obj in self._store.objects_on_edge(edge_id):
+            counts[bisect.bisect_right(boundaries, obj.position.offset)] += 1
+        segments: List[Tuple[int, int]] = []
+        start = 0
+        for count in counts:
+            segments.append((start, start + count - 1))
+            start += count
+        self._segments[edge_id] = segments
+
+    def insert_object(self, obj: SpatioTextualObject) -> None:
+        """Insert one object's postings, bits and segment membership.
+
+        Mirrors :meth:`InvertedFileIndex.insert_object` but the tree
+        value is ``{v_idx: pages}`` and the posting carries the virtual
+        edge the object's offset falls into.
+        """
+        edge_id = obj.position.edge_id
+        key = edge_zorder_key(self._curve, self._network, edge_id)
+        v_idx = self._virtual_index(edge_id, obj.position.offset)
+        posting = (key, v_idx, obj.object_id, obj.position.offset)
+        for term in obj.keywords:
+            tree = self._trees.get(term)
+            if tree is None:
+                page_no = self._postings.allocate(
+                    [posting], size_bytes=_POSTING_BYTES
+                )
+                tree = BPlusTree(self._tree_file, key_bytes=8, value_bytes=8)
+                tree.bulk_load([(key, {v_idx: [page_no]})])
+                self._trees[term] = tree
+                self._pages_per_term[term] = 1
+            else:
+                value = tree.search(key)
+                if value is None:
+                    page_no = self._postings.allocate(
+                        [posting], size_bytes=_POSTING_BYTES
+                    )
+                    tree.insert(key, {v_idx: [page_no]})
+                    self._pages_per_term[term] = (
+                        self._pages_per_term.get(term, 0) + 1
+                    )
+                else:
+                    pages = value.get(v_idx)
+                    if pages is None:
+                        page_no = self._postings.allocate(
+                            [posting], size_bytes=_POSTING_BYTES
+                        )
+                        value[v_idx] = [page_no]
+                        self._pages_per_term[term] += 1
+                    else:
+                        last = self._postings.read_unbuffered(pages[-1])
+                        if len(last) < _POSTINGS_PER_PAGE:
+                            last.append(posting)
+                        else:
+                            page_no = self._postings.allocate(
+                                [posting], size_bytes=_POSTING_BYTES
+                            )
+                            pages.append(page_no)
+                            self._pages_per_term[term] += 1
+            if term not in self._unsigned_terms:
+                self._bits.setdefault(term, set()).add((edge_id, v_idx))
+        self._recompute_segments(edge_id)
+
+    def delete_object(self, obj: SpatioTextualObject) -> None:
+        """Remove one object's postings and any orphaned bits.
+
+        Must run after ``ObjectStore.remove`` (segment recomputation
+        reads the store).  Postings are matched by ``(edge, object_id)``
+        across every virtual edge of the keyword's tree value — robust
+        even if duplicate offsets straddling a cut made the build-time
+        ``v_idx`` differ from what the offset resolves to today.  A
+        virtual edge's bit is cleared once no posting for the term
+        survives in it.
+        """
+        edge_id = obj.position.edge_id
+        key = edge_zorder_key(self._curve, self._network, edge_id)
+        for term in obj.keywords:
+            tree = self._trees.get(term)
+            value = tree.search(key) if tree is not None else None
+            if not value:
+                continue
+            for v_idx, pages in value.items():
+                survivors = False
+                for page_no in pages:
+                    payload = self._postings.read_unbuffered(page_no)
+                    kept = [
+                        p for p in payload
+                        if not (p[0] == key and p[2] == obj.object_id)
+                    ]
+                    if len(kept) != len(payload):
+                        self._postings.rewrite(
+                            page_no, kept,
+                            size_bytes=len(kept) * _POSTING_BYTES,
+                        )
+                    if not survivors and any(
+                        p[0] == key and p[1] == v_idx for p in kept
+                    ):
+                        survivors = True
+                if not survivors and term in self._bits:
+                    self._bits[term].discard((edge_id, v_idx))
+        self._recompute_segments(edge_id)
+
+    def rescale_edge(self, edge_id: int, factor: float) -> None:
+        """Rescale the cut offsets after an edge reweight.
+
+        Offsets are in weight units; a reweight moves every resident
+        object's offset by ``factor`` (``ObjectStore.rescale_edge_offsets``
+        runs first), so the cuts move with them and virtual-edge
+        membership is preserved exactly.  Stored posting offsets go
+        stale, which is harmless: ``load_objects`` resolves objects
+        through the store and never trusts the posting's offset.
+        """
+        boundaries = self._boundaries.get(edge_id)
+        if boundaries:
+            self._boundaries[edge_id] = [b * factor for b in boundaries]
+        self._recompute_segments(edge_id)

@@ -124,6 +124,23 @@ class SignatureFile:
             return
         self._bits.setdefault(term, set()).add(edge_id)
 
+    def clear_bit(self, edge_id: int, term: str) -> None:
+        """Set ``I(e, t) = 0`` after the last ``t``-object left ``e``.
+
+        The caller must verify no object with ``t`` remains on the edge
+        — a prematurely cleared bit causes false *misses*, which break
+        correctness (a stale 1-bit only costs a wasted probe).  Unsigned
+        keywords stay unsigned (they conservatively report ``True``).
+        """
+        if term in self._skipped:
+            return
+        edges = self._bits.get(term)
+        if edges is not None:
+            # An emptied set is kept: it means "this term occurs on no
+            # edge", which prunes every probe — dropping the entry would
+            # instead make the term report True everywhere.
+            edges.discard(edge_id)
+
     # ------------------------------------------------------------------
     # Size accounting
     # ------------------------------------------------------------------

@@ -101,3 +101,19 @@ class CCAMStore:
     def page_of(self, node_id: int) -> int:
         """Page number holding a node's adjacency list (for testing)."""
         return self._node_page[node_id]
+
+    def refresh_edge(self, edge_id: int) -> None:
+        """Re-copy both end-nodes' adjacency lists after an edge update.
+
+        CCAM pages hold *copies* of the in-memory adjacency lists, so a
+        :meth:`RoadNetwork.update_edge_weight` leaves them stale until
+        this runs.  Each affected page is rewritten in place (charged as
+        a write); page layout is untouched because an adjacency entry's
+        size does not depend on its weight value.
+        """
+        edge = self._network.edge(edge_id)
+        for node_id in {edge.n1, edge.n2}:
+            page_no = self._node_page[node_id]
+            payload = self._file.read_unbuffered(page_no)
+            payload[node_id] = list(self._network.neighbors(node_id))
+            self._file.rewrite(page_no)

@@ -110,8 +110,15 @@ class DistanceBackend(Protocol):
 def seed_distances(
     network: RoadNetwork, pos: NetworkPosition
 ) -> Dict[int, float]:
-    """Distances from a network position to its edge's two end-nodes."""
+    """Distances from a network position to its edge's two end-nodes.
+
+    On a self-loop edge (``n1 == n2``) both ways around the loop reach
+    the same node; the distance is the cheaper of the two, not whichever
+    dict entry happened to be written last.
+    """
     edge = network.edge(pos.edge_id)
+    if edge.n1 == edge.n2:
+        return {edge.n1: min(pos.offset, edge.weight - pos.offset)}
     return {edge.n1: pos.offset, edge.n2: edge.weight - pos.offset}
 
 
@@ -315,6 +322,20 @@ class DistanceCache:
     :class:`PairwiseDistanceComputer`, never by diffing these shared
     counters, so concurrent queries cannot contaminate each other's
     stats.
+
+    **Epoch versioning.**  Edge-weight updates change every node map
+    that crosses the updated edge; :meth:`invalidate` drops all cached
+    maps and advances the cache's epoch to the database's new
+    ``data_version``.  Readers and writers pass the epoch their query
+    is *pinned to* (``ExecutionContext.epoch``): a :meth:`get` from an
+    epoch older than the cache's is a miss, and a :meth:`put` from an
+    older epoch is silently discarded (counted in ``stale_puts``) — an
+    in-flight query that computed its map against pre-update weights
+    must never repollute the invalidated cache.  Both checks run under
+    the same lock as the map access, so a concurrent
+    ``invalidate``/``get``/``put`` interleaving can never serve a
+    pre-update map to a post-update reader.  ``epoch=None`` (private
+    per-query caches; static databases) disables the gating.
     """
 
     def __init__(self, max_entries: Optional[int] = None) -> None:
@@ -327,6 +348,15 @@ class DistanceCache:
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        #: Epoch of the cached contents: the ``data_version`` of the
+        #: most recent :meth:`invalidate`.  Maps inside are valid for
+        #: every epoch >= this value (only invalidation advances it).
+        self.epoch = 0
+        #: Writes rejected because the writer's epoch pre-dated the
+        #: last invalidation.
+        self.stale_puts = 0
+        #: Times :meth:`invalidate` actually cleared the cache.
+        self.invalidations = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -338,14 +368,19 @@ class DistanceCache:
         with self._lock:
             return self._entries
 
-    def get(self, *keys: CacheKey):
+    def get(self, *keys: CacheKey, epoch: Optional[int] = None):
         """First cached map among ``keys`` as ``(key, node_map)``.
 
         Probing several keys (the two endpoints of a symmetric pair)
         counts as *one* lookup: one hit when any key is cached, one
-        miss when none is.
+        miss when none is.  A reader pinned to an ``epoch`` older than
+        the cache's contents always misses (it must not observe maps
+        computed against newer edge weights).
         """
         with self._lock:
+            if epoch is not None and epoch < self.epoch:
+                self.misses += 1
+                return None
             for key in keys:
                 node_map = self._maps.get(key)
                 if node_map is not None:
@@ -355,10 +390,23 @@ class DistanceCache:
             self.misses += 1
             return None
 
-    def put(self, key: CacheKey, node_map: Dict[int, float]) -> int:
-        """Insert a map; returns how many LRU maps were evicted."""
+    def put(
+        self,
+        key: CacheKey,
+        node_map: Dict[int, float],
+        epoch: Optional[int] = None,
+    ) -> int:
+        """Insert a map; returns how many LRU maps were evicted.
+
+        A writer pinned to an ``epoch`` older than the cache's is
+        rejected (counted in ``stale_puts``): its map was computed
+        against edge weights an :meth:`invalidate` has since retired.
+        """
         evicted_count = 0
         with self._lock:
+            if epoch is not None and epoch < self.epoch:
+                self.stale_puts += 1
+                return 0
             old = self._maps.pop(key, None)
             if old is not None:
                 self._entries -= len(old)
@@ -381,6 +429,24 @@ class DistanceCache:
             self._maps.clear()
             self._entries = 0
 
+    def invalidate(self, epoch: int) -> bool:
+        """Drop everything and advance the cache to ``epoch``.
+
+        Called when a distance-changing update commits.  Monotonic: an
+        ``epoch`` at or below the cache's current one is a no-op (a
+        late-arriving invalidation for an already-superseded version
+        must not resurrect staleness).  Returns whether the cache was
+        actually cleared.
+        """
+        with self._lock:
+            if epoch <= self.epoch:
+                return False
+            self._maps.clear()
+            self._entries = 0
+            self.epoch = epoch
+            self.invalidations += 1
+            return True
+
     def counters_snapshot(self) -> Tuple[int, int, int]:
         with self._lock:
             return (self.hits, self.misses, self.evictions)
@@ -395,6 +461,9 @@ class DistanceCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "epoch": self.epoch,
+                "stale_puts": self.stale_puts,
+                "invalidations": self.invalidations,
             }
 
 
@@ -437,12 +506,17 @@ class PairwiseDistanceComputer:
         cache: Optional[DistanceCache] = None,
         tracer=NULL_TRACER,
         backend: Optional[DistanceBackend] = None,
+        epoch: Optional[int] = None,
     ) -> None:
         self._provider = provider
         self._network = network
         self._cutoff = cutoff
         self._cache = cache if cache is not None else DistanceCache()
         self._backend = backend
+        #: Data epoch this computer's query is pinned to; gates every
+        #: shared-cache access (see ``DistanceCache`` epoch versioning).
+        #: ``None`` on static databases and private caches.
+        self._epoch = epoch
         #: Pair distances bulk-resolved by :meth:`prefetch`, keyed by
         #: the two positions' ``(edge_id, offset)`` pairs, sorted.
         self._pair_cache: Dict[Tuple, float] = {}
@@ -498,7 +572,9 @@ class PairwiseDistanceComputer:
                 source_edge=pos.edge_id, map_nodes=len(node_map),
                 cutoff=self._cutoff,
             )
-        self.cache_evictions += self._cache.put(self._key(pos), node_map)
+        self.cache_evictions += self._cache.put(
+            self._key(pos), node_map, epoch=self._epoch
+        )
         return node_map
 
     def _pair_key(self, a: NetworkPosition, b: NetworkPosition) -> Tuple:
@@ -506,12 +582,15 @@ class PairwiseDistanceComputer:
         return (ka, kb) if ka <= kb else (kb, ka)
 
     def _backend_distance(self, a: NetworkPosition, b: NetworkPosition) -> float:
+        # A miss is only charged when the prefetched pair cache was
+        # actually probed; without a prefetch there is no cache to miss,
+        # and charging one per point query deflates the hit-rate SLO.
         if self._pair_cache:
             d = self._pair_cache.get(self._pair_key(a, b))
             if d is not None:
                 self.cache_hits += 1
                 return d
-        self.cache_misses += 1
+            self.cache_misses += 1
         start = time.perf_counter()
         d = self._backend.position_distance(
             a, b, cutoff=self._cutoff, counters=self.backend_counters
@@ -561,9 +640,12 @@ class PairwiseDistanceComputer:
         if a.edge_id == b.edge_id:
             return abs(a.offset - b.offset)
         if self._backend is not None:
-            return self._backend_distance(a, b)
+            # Clamp exactly like the Dijkstra path below: a caller must
+            # see the same inf-beyond-cutoff contract on every backend.
+            d = self._backend_distance(a, b)
+            return d if d <= self._cutoff else INF
         key_a = self._key(a)
-        found = self._cache.get(key_a, self._key(b))
+        found = self._cache.get(key_a, self._key(b), epoch=self._epoch)
         if found is not None:
             self.cache_hits += 1
             if self.tracer.enabled:

@@ -11,6 +11,7 @@ from the edge's reference node (the end-node with the smaller id).
 
 from __future__ import annotations
 
+import dataclasses
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
 
@@ -160,6 +161,31 @@ class RoadNetwork:
         return edge
 
     # ------------------------------------------------------------------
+    # Updates
+    # ------------------------------------------------------------------
+    def update_edge_weight(self, edge_id: int, weight: float) -> Edge:
+        """Change the traversal cost of an existing edge.
+
+        Returns the replacement :class:`Edge`.  Only the *weight* (cost)
+        changes; geometry (``length``, end-points) is immutable.  The
+        caller owns downstream consistency — object offsets are in
+        weight units and any derived structure (CCAM pages, distance
+        caches, CH oracles) holds copies of the old weight; see
+        ``Database.update_edge_weight`` for the orchestrated version.
+        """
+        old = self.edge(edge_id)
+        if weight <= 0:
+            raise GraphError(f"edge {edge_id}: weight must be positive")
+        new = dataclasses.replace(old, weight=weight)
+        self._edges[edge_id] = new
+        for node_id in (new.n1, new.n2):
+            adj = self._adjacency[node_id]
+            for i, (eid, other, _) in enumerate(adj):
+                if eid == edge_id:
+                    adj[i] = (eid, other, weight)
+        return new
+
+    # ------------------------------------------------------------------
     # Accessors
     # ------------------------------------------------------------------
     @property
@@ -230,6 +256,10 @@ class RoadNetwork:
     def validate(self) -> None:
         """Sanity-check internal consistency; raises on corruption."""
         for edge in self._edges.values():
+            if edge.n1 == edge.n2:
+                # Unreachable through add_edge/Edge (both reject loops);
+                # guards against corruption from direct _edges injection.
+                raise GraphError(f"edge {edge.edge_id} is a self-loop")
             for nid in (edge.n1, edge.n2):
                 if nid not in self._nodes:
                     raise GraphError(f"edge {edge.edge_id} references unknown {nid}")

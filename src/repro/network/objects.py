@@ -74,6 +74,10 @@ class ObjectStore:
         self._network = network
         self._objects: Dict[int, SpatioTextualObject] = {}
         self._by_edge: Dict[int, List[int]] = {}
+        # Monotonic id source: ``len(self._objects)`` would recycle ids
+        # after a remove(), aliasing a new object with postings that
+        # still reference the deleted one.
+        self._next_id = 0
 
     # ------------------------------------------------------------------
     # Construction
@@ -90,10 +94,45 @@ class ObjectStore:
             raise DatasetError(
                 f"object offset {position.offset} beyond edge weight {edge.weight}"
             )
-        obj = SpatioTextualObject(len(self._objects), position, kw)
+        obj = SpatioTextualObject(self._next_id, position, kw)
+        self._next_id += 1
         self._objects[obj.object_id] = obj
         self._by_edge.setdefault(position.edge_id, []).append(obj.object_id)
         return obj
+
+    def remove(self, object_id: int) -> SpatioTextualObject:
+        """Remove an object; returns the removed object.
+
+        Ids are never reused (see ``_next_id``), so stale index
+        postings referencing the removed id resolve to "unknown object"
+        instead of silently aliasing a newer insert.
+        """
+        obj = self.get(object_id)
+        del self._objects[object_id]
+        ids = self._by_edge.get(obj.position.edge_id)
+        if ids is not None:
+            ids.remove(object_id)
+            if not ids:
+                del self._by_edge[obj.position.edge_id]
+        return obj
+
+    def rescale_edge_offsets(self, edge_id: int, factor: float) -> None:
+        """Rescale object offsets on one edge by ``factor``.
+
+        Offsets are in *weight* units, so an edge reweight from ``w`` to
+        ``w'`` moves every resident object's offset by ``w'/w`` — the
+        object stays at the same geometric point (same fraction along
+        the edge).  Visiting order is preserved (factor > 0).
+        """
+        if factor <= 0:
+            raise DatasetError("rescale factor must be positive")
+        for oid in self._by_edge.get(edge_id, []):
+            old = self._objects[oid]
+            self._objects[oid] = SpatioTextualObject(
+                old.object_id,
+                NetworkPosition(edge_id, old.position.offset * factor),
+                old.keywords,
+            )
 
     def freeze(self) -> None:
         """Sort every per-edge list by offset (call once after loading)."""

@@ -236,6 +236,13 @@ def database_gauges(db) -> Dict[str, float]:
         gauges["distance_cache.hit_rate"] = (
             stats["hits"] / lookups if lookups else 0.0
         )
+        gauges["distance_cache.epoch"] = float(stats.get("epoch", 0))
+        gauges["distance_cache.stale_puts"] = float(
+            stats.get("stale_puts", 0)
+        )
+        gauges["distance_cache.invalidations"] = float(
+            stats.get("invalidations", 0)
+        )
     backend = getattr(db, "distance_backend", None)
     if backend is not None:
         # One-hot backend label: repro_distance_backend_ch 1.0 says the
@@ -250,6 +257,26 @@ def database_gauges(db) -> Dict[str, float]:
         gauges["ch.shortcuts_added"] = float(oracle.shortcuts_added)
         gauges["ch.upward_edges"] = float(oracle.upward_edges)
         gauges["ch.nodes"] = float(oracle.num_nodes)
+    data_version = getattr(db, "data_version", None)
+    if data_version is not None:
+        gauges["data_version"] = float(data_version)
+    journal = getattr(db, "update_journal", None)
+    if journal is not None:
+        gauges["updates.journal_length"] = float(len(journal))
+        for kind, count in journal.counts().items():
+            gauges[f"updates.{kind}"] = float(count)
+    result_cache = getattr(db, "result_cache", None)
+    if result_cache is not None:
+        stats = result_cache.stats()
+        lookups = stats["hits"] + stats["misses"]
+        gauges["result_cache.entries"] = float(stats["entries"])
+        gauges["result_cache.hits"] = float(stats["hits"])
+        gauges["result_cache.misses"] = float(stats["misses"])
+        gauges["result_cache.invalidated"] = float(stats["invalidated"])
+        gauges["result_cache.evictions"] = float(stats["evictions"])
+        gauges["result_cache.hit_rate"] = (
+            stats["hits"] / lookups if lookups else 0.0
+        )
     disk = getattr(db, "disk", None)
     buffer = getattr(disk, "buffer", None)
     if buffer is not None:

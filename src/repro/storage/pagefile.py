@@ -95,6 +95,33 @@ class PageFile:
         """
         return self._pages[page_no].payload
 
+    def rewrite(
+        self,
+        page_no: int,
+        payload: Any = None,
+        size_bytes: Optional[int] = None,
+    ) -> None:
+        """Overwrite an existing page in place; charged as one write.
+
+        ``payload=None`` keeps the current payload object (the caller
+        mutated it through :meth:`read_unbuffered` and only needs the
+        write accounted); ``size_bytes=None`` keeps the recorded size.
+        This is the update path's counterpart to :meth:`allocate` —
+        page numbers never move, so references held by trees and
+        node-page maps stay valid.
+        """
+        if not 0 <= page_no < len(self._pages):
+            raise StorageError(
+                f"page {page_no} out of range for file {self.name!r} "
+                f"({len(self._pages)} pages)"
+            )
+        page = self._pages[page_no]
+        if payload is not None:
+            page.payload = payload
+        if size_bytes is not None:
+            page.size_bytes = size_bytes
+        self._disk.stats.record_write(self.category)
+
 
 class DiskManager:
     """Owns the page files, the shared buffer pool and the I/O stats."""

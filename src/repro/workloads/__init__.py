@@ -2,6 +2,12 @@
 
 from .queries import WorkloadConfig, generate_diversified_queries, generate_sk_queries
 from .runner import WorkloadReport, run_diversified_workload, run_sk_workload
+from .updates import (
+    UpdateWorkloadConfig,
+    UpdateWorkloadReport,
+    generate_update_ops,
+    run_update_workload,
+)
 
 __all__ = [
     "WorkloadConfig",
@@ -10,4 +16,8 @@ __all__ = [
     "WorkloadReport",
     "run_diversified_workload",
     "run_sk_workload",
+    "UpdateWorkloadConfig",
+    "UpdateWorkloadReport",
+    "generate_update_ops",
+    "run_update_workload",
 ]

@@ -1,5 +1,6 @@
-"""Tests for dynamic insertion into IF and SIF."""
+"""Tests for dynamic insertion and deletion in IF, SIF and SIF-P."""
 
+import numpy as np
 import pytest
 
 from repro import Database, SKQuery
@@ -14,6 +15,17 @@ def live_db(grid_network9):
     db.add_object(NetworkPosition(3, 50.0), {"pizza", "bar"})
     db.freeze()
     return db
+
+
+def random_burst(db, indexes, rng, count=120):
+    """Insert ``count`` random objects through the dynamic path."""
+    for _ in range(count):
+        edge = db.network.edge(int(rng.integers(0, 12)))
+        offset = float(rng.uniform(0, edge.weight))
+        terms = {f"t{int(rng.integers(0, 6))}", "pizza"}
+        db.insert_object(
+            NetworkPosition(edge.edge_id, offset), terms, indexes
+        )
 
 
 class TestInsertIntoIF:
@@ -43,17 +55,32 @@ class TestInsertIntoIF:
         """After a burst of inserts the dynamic index answers exactly
         like a freshly rebuilt one."""
         index = live_db.build_index("if")
-        import numpy as np
-
-        rng = np.random.default_rng(5)
-        for i in range(120):
-            edge = live_db.network.edge(int(rng.integers(0, 12)))
-            offset = float(rng.uniform(0, edge.weight))
-            terms = {f"t{int(rng.integers(0, 6))}", "pizza"}
-            live_db.insert_object(
-                NetworkPosition(edge.edge_id, offset), terms, [index]
-            )
+        random_burst(live_db, [index], np.random.default_rng(5))
         rebuilt = live_db.build_index("if", file_prefix="if-rebuilt")
+        for term in ("pizza", "t0", "t3", "bar"):
+            q = SKQuery.create(NetworkPosition(0, 0.0), [term], 5000.0)
+            assert sorted(live_db.sk_search(index, q).object_ids()) == sorted(
+                live_db.sk_search(rebuilt, q).object_ids()
+            )
+
+
+class TestDeleteFromIF:
+    def test_deleted_object_disappears(self, live_db):
+        index = live_db.build_index("if")
+        q = SKQuery.create(NetworkPosition(0, 0.0), ["pizza"], 1000.0)
+        victim = live_db.sk_search(index, q).object_ids()[0]
+        live_db.delete_object(victim, indexes=(index,))
+        assert victim not in live_db.sk_search(index, q).object_ids()
+
+    def test_insert_delete_burst_keeps_equivalence(self, live_db):
+        index = live_db.build_index("if")
+        rng = np.random.default_rng(11)
+        random_burst(live_db, [index], rng, count=80)
+        for _ in range(40):
+            objects = list(live_db.store)
+            victim = objects[int(rng.integers(0, len(objects)))]
+            live_db.delete_object(victim.object_id, indexes=(index,))
+        rebuilt = live_db.build_index("if", file_prefix="if-rebuilt-del")
         for term in ("pizza", "t0", "t3", "bar"):
             q = SKQuery.create(NetworkPosition(0, 0.0), [term], 5000.0)
             assert sorted(live_db.sk_search(index, q).object_ids()) == sorted(
@@ -81,14 +108,75 @@ class TestInsertIntoSIF:
         assert len(result) == 1
 
 
+class TestDeleteFromSIF:
+    def test_bit_cleared_only_when_orphaned(self, live_db):
+        index = live_db.build_index("sif")
+        a = live_db.insert_object(NetworkPosition(5, 30.0), {"pizza"}, [index])
+        b = live_db.insert_object(NetworkPosition(5, 60.0), {"pizza"}, [index])
+        # Two carriers: deleting one must keep the bit set.
+        live_db.delete_object(a.object_id, indexes=(index,))
+        assert len(index.load_objects(5, frozenset({"pizza"}))) == 1
+        # Last carrier gone: the edge prunes by signature again.
+        live_db.delete_object(b.object_id, indexes=(index,))
+        index.counters.reset()
+        assert index.load_objects(5, frozenset({"pizza"})) == []
+        assert index.counters.edges_pruned_by_signature == 1
+
+    def test_burst_equivalence_with_rebuilt(self, live_db):
+        index = live_db.build_index("sif")
+        rng = np.random.default_rng(23)
+        random_burst(live_db, [index], rng, count=80)
+        for _ in range(40):
+            objects = list(live_db.store)
+            victim = objects[int(rng.integers(0, len(objects)))]
+            live_db.delete_object(victim.object_id, indexes=(index,))
+        rebuilt = live_db.build_index("sif", file_prefix="sif-rebuilt-del")
+        for term in ("pizza", "t0", "t3", "bar"):
+            q = SKQuery.create(NetworkPosition(0, 0.0), [term], 5000.0)
+            assert sorted(live_db.sk_search(index, q).object_ids()) == sorted(
+                live_db.sk_search(rebuilt, q).object_ids()
+            )
+
+
+class TestSIFPDynamic:
+    def test_insert_becomes_findable(self, live_db):
+        index = live_db.build_index("sif-p")
+        q = SKQuery.create(NetworkPosition(0, 0.0), ["sushi"], 1000.0)
+        assert len(live_db.sk_search(index, q)) == 0
+        live_db.insert_object(NetworkPosition(0, 70.0), {"sushi"}, [index])
+        result = live_db.sk_search(index, q)
+        assert len(result) == 1
+        assert result.items[0].distance == pytest.approx(70.0)
+
+    def test_delete_disappears(self, live_db):
+        index = live_db.build_index("sif-p")
+        q = SKQuery.create(NetworkPosition(0, 0.0), ["pizza"], 1000.0)
+        victim = live_db.sk_search(index, q).object_ids()[0]
+        live_db.delete_object(victim, indexes=(index,))
+        assert victim not in live_db.sk_search(index, q).object_ids()
+
+    def test_burst_equivalence_with_rebuilt(self, live_db):
+        """Inserts then deletes through the dynamic path answer exactly
+        like a freshly rebuilt SIF-P (trees, virtual-edge bits and
+        segment tables all kept consistent)."""
+        index = live_db.build_index("sif-p")
+        rng = np.random.default_rng(37)
+        random_burst(live_db, [index], rng, count=80)
+        for _ in range(40):
+            objects = list(live_db.store)
+            victim = objects[int(rng.integers(0, len(objects)))]
+            live_db.delete_object(victim.object_id, indexes=(index,))
+        rebuilt = live_db.build_index("sif-p", file_prefix="sifp-rebuilt")
+        for term in ("pizza", "t0", "t3", "bar"):
+            q = SKQuery.create(NetworkPosition(0, 0.0), [term], 5000.0)
+            assert sorted(live_db.sk_search(index, q).object_ids()) == sorted(
+                live_db.sk_search(rebuilt, q).object_ids()
+            )
+
+
 class TestUnsupportedKinds:
     def test_ir_rejects_dynamic_insert(self, live_db):
         index = live_db.build_index("ir")
-        with pytest.raises(QueryError):
-            live_db.insert_object(NetworkPosition(0, 10.0), {"x"}, [index])
-
-    def test_sif_p_rejects_dynamic_insert(self, live_db):
-        index = live_db.build_index("sif-p")
         with pytest.raises(QueryError):
             live_db.insert_object(NetworkPosition(0, 10.0), {"x"}, [index])
 

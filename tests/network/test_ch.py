@@ -286,6 +286,38 @@ class TestComputerIntegration:
         assert backed.dijkstra_runs == 0
         assert backed.pairwise_seconds >= backed.backend_seconds
 
+    @pytest.mark.parametrize("seed", [7, 13, 37])
+    def test_bounded_computers_agree_on_inf_contract(self, seed):
+        """With a finite cutoff, both backends clamp identically.
+
+        The backend path historically returned the raw oracle answer;
+        now both paths return ``inf`` exactly when the distance exceeds
+        the computer's cutoff, so SEQ/COM see one contract regardless
+        of ``--distance-backend``.
+        """
+        network = random_planar_network(60, seed=seed)
+        ch = ContractionHierarchy(network)
+        rng = random.Random(seed)
+        positions = random_positions(network, rng, 20)
+        for cutoff in (0.5, 1.5, 4.0):
+            plain = PairwiseDistanceComputer(network, network, cutoff=cutoff)
+            backed = PairwiseDistanceComputer(
+                network, network, cutoff=cutoff, backend=ch
+            )
+            for a in positions:
+                for b in positions:
+                    want = plain.distance(a, b)
+                    got = backed.distance(a, b)
+                    if want == math.inf:
+                        assert got == math.inf, (seed, cutoff, a, b)
+                    else:
+                        assert got == pytest.approx(want), (seed, cutoff, a, b)
+                    if a.edge_id != b.edge_id:
+                        # Same-edge pairs bypass the cutoff by the
+                        # paper's fiat rule; every other answer honours
+                        # the inf-beyond-cutoff contract.
+                        assert got <= cutoff or got == math.inf
+
     def test_prefetch_noop_without_backend(self):
         network = random_planar_network(40, seed=31)
         rng = random.Random(31)

@@ -1,0 +1,176 @@
+"""Mixed update/query workloads: batching, reporting, determinism."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.catalog import DatasetProfile, build_dataset
+from repro.errors import QueryError
+from repro.workloads import (
+    UpdateWorkloadConfig,
+    WorkloadConfig,
+    generate_diversified_queries,
+    generate_update_ops,
+    run_update_workload,
+)
+
+PROFILE = DatasetProfile(
+    name="TINY-UPD",
+    network_kind="planar",
+    num_nodes=120,
+    neighbours=3,
+    num_objects=400,
+    vocabulary_size=80,
+    avg_keywords=6,
+    zipf_z=1.0,
+    num_topics=8,
+    seed=5,
+)
+
+
+def make_db():
+    return build_dataset(PROFILE)
+
+
+def make_queries(db, n=8, seed=31):
+    return generate_diversified_queries(
+        db, WorkloadConfig(num_queries=n, num_keywords=2, k=4, seed=seed)
+    )
+
+
+class TestConfigValidation:
+    def test_rejects_negative_updates(self):
+        with pytest.raises(QueryError):
+            UpdateWorkloadConfig(updates_per_batch=-1)
+
+    def test_rejects_zero_batches(self):
+        with pytest.raises(QueryError):
+            UpdateWorkloadConfig(num_batches=0)
+
+    def test_rejects_all_zero_weights(self):
+        with pytest.raises(QueryError):
+            UpdateWorkloadConfig(
+                insert_weight=0.0, delete_weight=0.0, edge_weight_weight=0.0
+            )
+
+    def test_rejects_bad_factor_range(self):
+        with pytest.raises(QueryError):
+            UpdateWorkloadConfig(weight_factor_range=(0.0, 2.0))
+        with pytest.raises(QueryError):
+            UpdateWorkloadConfig(weight_factor_range=(2.0, 0.5))
+
+
+class TestGeneration:
+    def test_ops_follow_the_mix(self):
+        db = make_db()
+        config = UpdateWorkloadConfig(
+            insert_weight=1.0, delete_weight=0.0, edge_weight_weight=0.0
+        )
+        rng = np.random.default_rng(1)
+        ops = generate_update_ops(db, config, 10, rng)
+        assert [kind for kind, _ in ops] == ["insert"] * 10
+
+    def test_ops_are_seed_deterministic(self):
+        db = make_db()
+        config = UpdateWorkloadConfig(seed=9)
+        a = generate_update_ops(db, config, 30, np.random.default_rng(9))
+        b = generate_update_ops(db, config, 30, np.random.default_rng(9))
+        assert a == b
+
+
+class TestRun:
+    def test_report_shape_and_epoch(self):
+        db = make_db()
+        index = db.build_index("sif", file_prefix="upd-shape")
+        config = UpdateWorkloadConfig(updates_per_batch=5, num_batches=3)
+        report = run_update_workload(
+            db, index, make_queries(db), config, io_latency=0.0
+        )
+        assert report.query_report.num_queries == 8
+        # 2 update rounds of 5; every op resolves on a populated db.
+        assert sum(report.updates_applied.values()) == 10
+        assert report.final_epoch == db.data_version
+        assert report.final_epoch == 10
+        row = report.row()
+        assert row["updates"] == 10
+        assert row["epoch"] == 10
+        assert row["update_ms"] >= 0.0
+        for kind, count in report.updates_applied.items():
+            assert row[f"updates_{kind}"] == count
+        record = report.summary_record()
+        assert record["type"] == "update_workload"
+        assert record["final_epoch"] == 10
+        assert record["updates_applied"] == report.updates_applied
+
+    def test_emits_summary_metric(self):
+        db = make_db()
+        index = db.build_index("sif", file_prefix="upd-metric")
+        records = []
+
+        class _Sink:
+            def emit(self, record):
+                records.append(record)
+
+        db.metrics.add_sink(_Sink())
+        run_update_workload(
+            db,
+            index,
+            make_queries(db, n=4),
+            UpdateWorkloadConfig(updates_per_batch=2, num_batches=2),
+            io_latency=0.0,
+        )
+        assert any(r.get("type") == "update_workload" for r in records)
+
+    def test_workers_run_the_same_queries(self):
+        db = make_db()
+        index = db.build_index("sif", file_prefix="upd-workers")
+        config = UpdateWorkloadConfig(updates_per_batch=4, num_batches=2, seed=3)
+        report = run_update_workload(
+            db,
+            index,
+            make_queries(db, n=6),
+            config,
+            io_latency=0.0,
+            workers=4,
+        )
+        assert report.query_report.workers == 4
+        assert report.query_report.num_queries == 6
+        assert sum(report.updates_applied.values()) == 4
+
+    def test_single_batch_applies_no_updates(self):
+        db = make_db()
+        index = db.build_index("sif", file_prefix="upd-single")
+        report = run_update_workload(
+            db,
+            index,
+            make_queries(db, n=3),
+            UpdateWorkloadConfig(updates_per_batch=50, num_batches=1),
+            io_latency=0.0,
+        )
+        assert report.updates_applied == {}
+        assert report.final_epoch == 0
+
+    def test_updated_answers_match_a_fresh_serial_query(self):
+        """After the workload, re-running any query serially against the
+        mutated database gives the same answer the engine would give —
+        the workload leaves no stale cached state behind."""
+        from repro.engine.plan import plan_diversified
+
+        db = make_db()
+        db.use_shared_distance_cache(max_entries=50_000)
+        db.use_result_cache(max_entries=32)
+        index = db.build_index("sif", file_prefix="upd-consist")
+        queries = make_queries(db, n=6, seed=17)
+        run_update_workload(
+            db,
+            index,
+            queries,
+            UpdateWorkloadConfig(updates_per_batch=10, num_batches=3, seed=5),
+            io_latency=0.0,
+            workers=2,
+        )
+        for q in queries:
+            via_engine = db.engine.execute(
+                plan_diversified(db, index, q, method="seq")
+            )
+            scratch = db.diversified_search(index, q, method="seq")
+            assert via_engine.object_ids() == scratch.object_ids()
