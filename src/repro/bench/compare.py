@@ -28,7 +28,9 @@ from typing import Any, Dict, List, Optional, Union
 
 __all__ = [
     "MetricDelta",
+    "PresenceChange",
     "compare_trajectories",
+    "presence_changes",
     "load_trajectory",
     "render_comparison",
 ]
@@ -103,6 +105,82 @@ class MetricDelta:
         }
 
 
+class PresenceChange:
+    """A headline metric (or whole figure) present on only one side.
+
+    Not a regression and not a pass: an added benchmark has no
+    baseline to be judged against and a removed one can no longer be
+    judged at all — both must be *reported* so a rename or a deleted
+    benchmark can never silently drain the gate's coverage.
+    """
+
+    __slots__ = ("figure", "metric", "status", "value")
+
+    def __init__(
+        self,
+        figure: str,
+        metric: Optional[str],
+        status: str,
+        value: Any = None,
+    ) -> None:
+        if status not in ("added", "removed"):
+            raise ValueError(f"unknown presence status {status!r}")
+        self.figure = figure
+        #: ``None`` when the whole figure appeared/disappeared.
+        self.metric = metric
+        self.status = status
+        self.value = value
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "figure": self.figure,
+            "metric": self.metric,
+            "status": self.status,
+            "value": self.value,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        where = self.figure if self.metric is None else f"{self.figure}.{self.metric}"
+        return f"PresenceChange({self.status}: {where})"
+
+
+def presence_changes(
+    old: Dict[str, Any], new: Dict[str, Any]
+) -> List[PresenceChange]:
+    """Figures/headline metrics present in only one of the documents.
+
+    A figure missing from one side is reported once (metric ``None``);
+    a shared figure whose headline lost or gained *directional*
+    metrics is reported per metric.  Context columns (parameters with
+    no better/worse direction) are ignored, matching
+    :func:`compare_trajectories`.
+    """
+    changes: List[PresenceChange] = []
+    old_figures = old.get("figures", {})
+    new_figures = new.get("figures", {})
+    for slug in sorted(set(old_figures) | set(new_figures)):
+        if slug not in new_figures:
+            changes.append(PresenceChange(slug, None, "removed"))
+            continue
+        if slug not in old_figures:
+            changes.append(PresenceChange(slug, None, "added"))
+            continue
+        old_headline = old_figures[slug].get("headline", {})
+        new_headline = new_figures[slug].get("headline", {})
+        for metric in sorted(set(old_headline) ^ set(new_headline)):
+            if metric_direction(metric) is None:
+                continue
+            if metric in old_headline:
+                changes.append(PresenceChange(
+                    slug, metric, "removed", old_headline[metric]
+                ))
+            else:
+                changes.append(PresenceChange(
+                    slug, metric, "added", new_headline[metric]
+                ))
+    return changes
+
+
 def load_trajectory(path: Union[str, Path]) -> Dict[str, Any]:
     """Read and schema-check one trajectory artifact."""
     path = Path(path)
@@ -150,9 +228,15 @@ def compare_trajectories(
 
 
 def render_comparison(
-    deltas: List[MetricDelta], threshold_pct: float
+    deltas: List[MetricDelta],
+    threshold_pct: float,
+    presence: Optional[List[PresenceChange]] = None,
 ) -> str:
-    """Human-readable comparison: regressions, improvements, counts."""
+    """Human-readable comparison: regressions, improvements, counts.
+
+    ``presence`` (from :func:`presence_changes`) adds an added/removed
+    section so coverage changes are visible alongside the deltas.
+    """
     regressions = [d for d in deltas if d.is_regression(threshold_pct)]
     improvements = [d for d in deltas if d.is_improvement(threshold_pct)]
     lines: List[str] = [
@@ -160,6 +244,9 @@ def render_comparison(
         f"(threshold {threshold_pct:g}%): "
         f"{len(regressions)} regression(s), "
         f"{len(improvements)} improvement(s)"
+        + (
+            f", {len(presence)} presence change(s)" if presence else ""
+        )
     ]
 
     def _fmt(delta: MetricDelta, tag: str) -> str:
@@ -176,4 +263,16 @@ def render_comparison(
         lines.append(_fmt(delta, "improved  "))
     if not regressions and not improvements:
         lines.append(f"  no metric moved by ≥ {threshold_pct:g}%")
+    for change in presence or ():
+        where = (
+            f"figure {change.figure}"
+            if change.metric is None
+            else f"{change.figure}.{change.metric}"
+        )
+        note = (
+            "not judged — no baseline"
+            if change.status == "added"
+            else "not judged — gone from candidate"
+        )
+        lines.append(f"  {change.status.upper():<10}  {where} ({note})")
     return "\n".join(lines)

@@ -10,6 +10,8 @@ Commands
 ``compare``   run one workload against every index kind (mini Fig. 6)
 ``explain``   run ONE query under tracing and print its pruning report
 ``slowlog``   render a persisted slow-query log (JSON lines) as text
+``loadtest``  drive sustained QPS (open loop) gated by a live SLO
+``profile``   render a folded-stack profile written by the profiler
 ``bench``     benchmark artifact tools (``bench compare OLD NEW``)
 
 The workload commands accept ``--metrics <path>`` to stream one JSON
@@ -29,6 +31,16 @@ capture: ``--slow-ms`` / ``--slow-nodes`` set the thresholds,
 (``repro slowlog <path>`` renders them).  ``--slo <spec.json>``
 evaluates a declarative SLO spec against the final registry snapshot
 and fails the command when an objective is violated.
+
+Live telemetry: every workload command (and ``loadtest``) accepts
+``--telemetry-port N`` to serve ``/metrics`` (Prometheus), ``/healthz``,
+``/vars``, ``/slowlog``, ``/profile`` and ``/slo`` over HTTP for the
+duration of the run, so an external scraper watches counters advance
+*while* queries execute.  ``loadtest`` evaluates its ``--slo`` spec
+continuously against a ~10 s sliding window (not once at the end) and
+exits non-zero when the final window is in breach; ``--profile-out``
+writes the sampling profiler's folded stacks for ``repro profile`` /
+flamegraph tooling.
 """
 
 from __future__ import annotations
@@ -146,6 +158,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--slo", metavar="SPEC", default=None,
             help="evaluate the SLO spec (JSON) against the final "
                  "metrics snapshot; exit non-zero on violation",
+        )
+        p.add_argument(
+            "--telemetry-port", type=int, default=None, metavar="PORT",
+            help="serve live telemetry over HTTP on 127.0.0.1:PORT for "
+                 "the duration of the run (/metrics, /healthz, /vars, "
+                 "/slowlog, /profile, /slo); 0 picks a free port",
         )
 
     p = sub.add_parser("info", help="dataset statistics")
@@ -276,6 +294,52 @@ def build_parser() -> argparse.ArgumentParser:
         help="render only the last N records",
     )
 
+    p = sub.add_parser(
+        "loadtest",
+        help="drive sustained QPS (open loop) gated by a live SLO",
+    )
+    add_dataset_args(p)
+    add_workload_args(p)
+    p.add_argument("--index", choices=INDEX_KINDS, default="sif")
+    p.add_argument(
+        "--method", choices=("seq", "com", "sk"), default="seq",
+        help="query form driven at rate (default seq)",
+    )
+    p.add_argument("--k", type=int, default=6)
+    p.add_argument("--lambda", dest="lambda_", type=float, default=0.8)
+    p.add_argument(
+        "--qps", type=float, default=20.0, metavar="RATE",
+        help="offered arrival rate, queries/second (default 20)",
+    )
+    p.add_argument(
+        "--duration", type=float, default=10.0, metavar="SECONDS",
+        help="how long to sustain the rate (default 10)",
+    )
+    p.add_argument(
+        "--distance-cache", type=_positive_int, default=None,
+        metavar="ENTRIES",
+        help="share a bounded LRU distance cache across the run",
+    )
+    p.add_argument(
+        "--profile-out", metavar="PATH", default=None, type=_output_path,
+        help="sample wall-clock stacks during the run and write folded "
+             "flamegraph lines to PATH (render with `repro profile`)",
+    )
+    p.add_argument(
+        "--profile-hz", type=float, default=None, metavar="HZ",
+        help="profiler sampling rate (default 67 Hz)",
+    )
+
+    p = sub.add_parser(
+        "profile",
+        help="render a folded-stack profile written by --profile-out",
+    )
+    p.add_argument("path", help="folded-stack file (stack<space>count lines)")
+    p.add_argument(
+        "--top", type=_positive_int, default=15, metavar="N",
+        help="show the N hottest stacks/frames (default 15)",
+    )
+
     p = sub.add_parser("bench", help="benchmark artifact tools")
     bench_sub = p.add_subparsers(dest="bench_command", required=True)
     p = bench_sub.add_parser(
@@ -396,6 +460,26 @@ def _report_slow_log(db) -> None:
     db.disable_slow_query_log()
 
 
+def _start_telemetry(db, args):
+    """Start the HTTP telemetry server when ``--telemetry-port`` given.
+
+    Started before the workload and stopped in its ``finally``, so an
+    external scraper can watch counters advance while queries run.
+    """
+    port = getattr(args, "telemetry_port", None)
+    if port is None:
+        return None
+    server = db.serve_telemetry(port=port)
+    print(f"Telemetry: {server.url}/metrics (also /healthz /vars "
+          f"/slowlog /profile /slo)", file=sys.stderr)
+    return server
+
+
+def _stop_telemetry(db, server) -> None:
+    if server is not None:
+        db.stop_telemetry()
+
+
 def _check_slo(db, args) -> int:
     """Evaluate ``--slo`` (when given); the command's exit code."""
     spec_path = getattr(args, "slo", None)
@@ -459,6 +543,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         sink = _attach_metrics_sink(db, args)
         _enable_tracing(db, args)
         _enable_slow_log(db, args)
+        server = _start_telemetry(db, args)
         try:
             index = db.build_index(args.index)
             queries = generate_sk_queries(db, _config(args))
@@ -468,8 +553,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             _report_slow_log(db)
             rc = _check_slo(db, args)
         except BaseException:
+            _stop_telemetry(db, server)
             _close_metrics_sink(db, sink, error=True)
             raise
+        _stop_telemetry(db, server)
         _close_metrics_sink(db, sink)
         return rc
 
@@ -478,6 +565,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         sink = _attach_metrics_sink(db, args)
         _enable_tracing(db, args)
         _enable_slow_log(db, args)
+        server = _start_telemetry(db, args)
         try:
             if args.distance_cache is not None:
                 db.use_shared_distance_cache(max_entries=args.distance_cache)
@@ -503,8 +591,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             _report_slow_log(db)
             rc = _check_slo(db, args)
         except BaseException:
+            _stop_telemetry(db, server)
             _close_metrics_sink(db, sink, error=True)
             raise
+        _stop_telemetry(db, server)
         _close_metrics_sink(db, sink)
         return rc
 
@@ -515,6 +605,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         sink = _attach_metrics_sink(db, args)
         _enable_tracing(db, args)
         _enable_slow_log(db, args)
+        server = _start_telemetry(db, args)
         try:
             if args.distance_cache is not None:
                 db.use_shared_distance_cache(max_entries=args.distance_cache)
@@ -551,8 +642,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             _report_slow_log(db)
             rc = _check_slo(db, args)
         except BaseException:
+            _stop_telemetry(db, server)
             _close_metrics_sink(db, sink, error=True)
             raise
+        _stop_telemetry(db, server)
         _close_metrics_sink(db, sink)
         return rc
 
@@ -561,6 +654,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         sink = _attach_metrics_sink(db, args)
         _enable_tracing(db, args)
         _enable_slow_log(db, args)
+        server = _start_telemetry(db, args)
         try:
             queries = generate_sk_queries(db, _config(args))
             rows = []
@@ -579,8 +673,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             _report_slow_log(db)
             rc = _check_slo(db, args)
         except BaseException:
+            _stop_telemetry(db, server)
             _close_metrics_sink(db, sink, error=True)
             raise
+        _stop_telemetry(db, server)
         _close_metrics_sink(db, sink)
         return rc
 
@@ -634,30 +730,140 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {path} does not exist", file=sys.stderr)
             return 1
         records = []
+        skipped = 0
         with path.open(encoding="utf-8") as fh:
             for line in fh:
                 line = line.strip()
                 if not line:
                     continue
-                record = json.loads(line)
-                if record.get("type") == "slow_query":
+                try:
+                    record = json.loads(line)
+                except ValueError:
+                    skipped += 1  # truncated tail of a killed run
+                    continue
+                if record.get("type") in ("slow_query", "slo_breach"):
                     records.append(record)
         if args.limit is not None:
             records = records[-args.limit:]
+        if skipped:
+            print(f"warning: skipped {skipped} malformed line(s)",
+                  file=sys.stderr)
         if not records:
             print("no slow-query records found")
             return 0
         for record in records:
             print(render_record(record))
             print()
-        print(f"{len(records)} slow quer{'y' if len(records) == 1 else 'ies'} "
-              f"rendered from {path}", file=sys.stderr)
+        print(f"{len(records)} record(s) rendered from {path}",
+              file=sys.stderr)
+        return 0
+
+    if args.command == "loadtest":
+        from .obs.slo import SLOSpec
+        from .workloads.loadtest import LoadTestConfig, run_loadtest
+
+        db = _build_db(args)
+        sink = _attach_metrics_sink(db, args)
+        _enable_tracing(db, args)
+        _enable_slow_log(db, args)
+        server = _start_telemetry(db, args)
+        profiler = None
+        if args.profile_out:
+            profiler = db.enable_profiler(hz=args.profile_hz)
+        try:
+            if args.distance_cache is not None:
+                db.use_shared_distance_cache(max_entries=args.distance_cache)
+            index = db.build_index(args.index)
+            config = _config(args, k=args.k, lambda_=args.lambda_)
+            if args.method == "sk":
+                queries = generate_sk_queries(db, config)
+            else:
+                queries = generate_diversified_queries(db, config)
+            spec = None
+            if args.slo:
+                import json
+
+                with open(args.slo, encoding="utf-8") as fh:
+                    spec = SLOSpec.from_dict(json.load(fh))
+            lt_config = LoadTestConfig(
+                qps=args.qps,
+                duration_seconds=args.duration,
+                workers=args.workers,
+                method=args.method,
+            )
+            report = run_loadtest(
+                db, index, queries, lt_config,
+                slo_spec=spec, label=f"{args.profile}/{args.index}",
+            )
+            print_table(
+                [report.row()],
+                f"Load test on {args.profile} "
+                f"({args.qps:g} qps offered for {args.duration:g}s)",
+            )
+            if spec is not None:
+                verdict = report.slo or {}
+                for check in verdict.get("checks", ()):
+                    rule = check.get("rule", {})
+                    value = check.get("value")
+                    shown = (f"{value:.6g}"
+                             if isinstance(value, (int, float)) else "no data")
+                    status = ("SKIP" if check.get("no_data")
+                              else "PASS" if check.get("passed") else "FAIL")
+                    print(f"  {status}  {rule.get('name', '?')}: "
+                          f"{rule.get('metric', '?')} = {shown} "
+                          f"(want {rule.get('op', '?')} "
+                          f"{rule.get('threshold', '?')})")
+                print(
+                    f"Live SLO [{verdict.get('spec', '?')}]: "
+                    f"{verdict.get('evaluations', 0)} window evaluations, "
+                    f"{verdict.get('breach_windows', 0)} in breach — "
+                    f"{'PASS' if report.slo_passed else 'FAIL'}",
+                    file=sys.stderr,
+                )
+            if profiler is not None:
+                db.disable_profiler()
+                profiler.write_folded(args.profile_out)
+                pstats = profiler.stats()
+                print(f"Wrote {pstats['samples']} profile samples "
+                      f"({pstats['distinct_stacks']} stacks) to "
+                      f"{args.profile_out} (render with `repro profile`)",
+                      file=sys.stderr)
+                profiler = None
+            _write_observability(db, args)
+            _report_slow_log(db)
+            rc = 0 if report.slo_passed else 1
+            if rc:
+                print("live SLO gate FAILED", file=sys.stderr)
+        except BaseException:
+            if profiler is not None:
+                db.disable_profiler()
+            _stop_telemetry(db, server)
+            _close_metrics_sink(db, sink, error=True)
+            raise
+        _stop_telemetry(db, server)
+        _close_metrics_sink(db, sink)
+        return rc
+
+    if args.command == "profile":
+        from .obs.profiler import parse_folded, render_profile
+
+        path = Path(args.path)
+        if not path.exists():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 1
+        with path.open(encoding="utf-8") as fh:
+            table = parse_folded(fh)
+        if not table:
+            print("no profile samples found")
+            return 0
+        print(render_profile(table, top=args.top))
         return 0
 
     if args.command == "bench" and args.bench_command == "compare":
         from .bench.compare import (
             compare_trajectories,
             load_trajectory,
+            presence_changes,
             render_comparison,
         )
 
@@ -668,12 +874,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"error: {exc}", file=sys.stderr)
             return 2
         deltas = compare_trajectories(old_doc, new_doc)
+        presence = presence_changes(old_doc, new_doc)
         threshold = (
             args.fail_on_regression
             if args.fail_on_regression is not None
             else args.threshold
         )
-        print(render_comparison(deltas, threshold))
+        print(render_comparison(deltas, threshold, presence=presence))
         if args.fail_on_regression is not None and any(
             d.is_regression(args.fail_on_regression) for d in deltas
         ):

@@ -17,6 +17,7 @@ against the very same index objects.
 
 from __future__ import annotations
 
+import time
 from typing import Dict, Iterable, Optional
 
 from ..engine.executor import QueryEngine
@@ -133,6 +134,17 @@ class Database:
         #: (see :meth:`use_result_cache`).
         self.result_cache = None
         self._min_weight_per_length: Optional[float] = None
+        #: Monotonic creation instant — the zero of ``/healthz`` uptime.
+        self._created_monotonic = time.monotonic()
+        #: Sliding-window rollup fed by every finished query (see
+        #: :meth:`enable_rollup`); ``None`` until enabled.
+        self.rollup = None
+        #: Live SLO monitor over the rollup (see :meth:`use_live_slo`).
+        self.live_slo = None
+        #: Sampling wall-clock profiler (see :meth:`enable_profiler`).
+        self.profiler = None
+        #: Live HTTP scrape endpoint (see :meth:`serve_telemetry`).
+        self.telemetry_server = None
 
     # ------------------------------------------------------------------
     # Loading
@@ -575,6 +587,116 @@ class Database:
         if log is not None:
             log.close()
 
+    # ------------------------------------------------------------------
+    # Live telemetry: rollup, live SLO, profiler, HTTP endpoint
+    # ------------------------------------------------------------------
+    def uptime_seconds(self) -> float:
+        """Seconds since this database object was created."""
+        return time.monotonic() - self._created_monotonic
+
+    def enable_rollup(
+        self,
+        window_seconds: float = 10.0,
+        bucket_seconds: float = 1.0,
+    ):
+        """Install (or return) the sliding-window rollup.
+
+        Once installed, every finished query is recorded into it
+        (latency, error flag, result-cache hit) alongside the lifetime
+        registry, giving ``/vars`` and live SLO rules a recent-window
+        view (QPS, windowed p50/p95/p99, error and cache-hit rates).
+        Idempotent: an existing rollup is kept, so the engine, the
+        telemetry server and the load driver share one ring.
+        """
+        if self.rollup is None:
+            from ..obs.rollup import SlidingWindowRollup
+
+            self.rollup = SlidingWindowRollup(
+                window_seconds=window_seconds,
+                bucket_seconds=bucket_seconds,
+            )
+        return self.rollup
+
+    def use_live_slo(self, spec):
+        """Install a live SLO monitor evaluating ``spec`` per window.
+
+        ``spec`` is an :class:`~repro.obs.slo.SLOSpec` whose rules read
+        the rollup's window snapshot (``query.wall_seconds`` /
+        ``loadtest.latency_seconds`` histograms, ``window.*``
+        counters).  Breach windows are counted into the metrics
+        registry and noted into the slow-query log when one is
+        installed.  Enables the rollup on demand; returns the monitor.
+        """
+        from ..obs.rollup import LiveSLOMonitor
+
+        self.live_slo = LiveSLOMonitor(
+            spec,
+            self.enable_rollup(),
+            metrics=self.metrics,
+            slowlog=self.slow_query_log,
+        )
+        return self.live_slo
+
+    def enable_profiler(
+        self,
+        hz: Optional[float] = None,
+        only_labelled: bool = False,
+    ):
+        """Start the always-on sampling wall-clock profiler.
+
+        A daemon thread samples every live thread's stack ``hz`` times
+        per second (default :data:`repro.obs.profiler.DEFAULT_HZ`) and
+        folds them into a bounded flamegraph-ready table, attributed
+        to the plan label the sampled thread was executing.  Scrape it
+        at ``/profile``, or render with ``repro profile FILE`` after
+        :meth:`disable_profiler`.  Idempotent while running.
+        """
+        if self.profiler is not None and self.profiler.running:
+            return self.profiler
+        from ..obs.profiler import DEFAULT_HZ, SamplingProfiler
+
+        self.profiler = SamplingProfiler(
+            hz=hz if hz is not None else DEFAULT_HZ,
+            only_labelled=only_labelled,
+        ).start()
+        return self.profiler
+
+    def disable_profiler(self):
+        """Stop the profiler; returns it (with its folded table) or None."""
+        profiler, self.profiler = self.profiler, None
+        if profiler is not None:
+            profiler.stop()
+        return profiler
+
+    def serve_telemetry(
+        self, port: int = 0, host: str = "127.0.0.1"
+    ):
+        """Start the live HTTP observability endpoint for this database.
+
+        Serves ``/metrics`` (Prometheus text), ``/healthz``, ``/vars``,
+        ``/slowlog``, ``/profile`` and ``/slo`` from a daemon thread —
+        this is the per-shard scrape target the ROADMAP's serving layer
+        mounts.  ``port=0`` binds an ephemeral port; read it back from
+        the returned server's ``port``.  Enables the rollup so scrapes
+        see live windows.  Returns the running
+        :class:`~repro.obs.server.TelemetryServer`.
+        """
+        if self.telemetry_server is not None:
+            return self.telemetry_server
+        from ..obs.server import TelemetryServer
+
+        self.enable_rollup()
+        self.telemetry_server = TelemetryServer(
+            self, host=host, port=port
+        ).start()
+        return self.telemetry_server
+
+    def stop_telemetry(self) -> None:
+        """Shut the telemetry endpoint down, if one is serving."""
+        server, self.telemetry_server = self.telemetry_server, None
+        if server is not None:
+            server.close()
+
     def explain(
         self,
         index: ObjectIndex,
@@ -631,6 +753,11 @@ class Database:
         """
         m = self.metrics
         m.inc("query.count")
+        # Per-plan-label counter.  The ``#`` separates the counter
+        # family from its label value; the Prometheus exporter turns
+        # these into one ``repro_query_plan_total{plan="SIF/COM"}``
+        # family with properly escaped label values.
+        m.inc(f"query.plan#{label}")
         m.observe("query.wall_seconds", stats.wall_seconds)
         m.observe_stages(stats.stage_seconds)
         m.inc("pairwise.dijkstra_runs", stats.pairwise_dijkstras)
@@ -681,6 +808,23 @@ class Database:
             } if stats.io is not None else None,
         }
         m.emit(record)
+        if self.rollup is not None:
+            self.rollup.record(
+                stats.wall_seconds, cache_hit=stats.result_cache_hit
+            )
+
+    def _record_query_error(self, kind: str, label: str) -> None:
+        """Count one failed query execution (engine exception path).
+
+        Errors advance ``query.errors`` (plus a per-plan labelled
+        counter) and the rollup's windowed error rate, so a misbehaving
+        plan shows up on ``/metrics`` and trips ``window.error_rate``
+        SLO rules instead of vanishing with the raised exception.
+        """
+        self.metrics.inc("query.errors")
+        self.metrics.inc(f"query.error#{label}")
+        if self.rollup is not None:
+            self.rollup.record(0.0, error=True)
 
     # ------------------------------------------------------------------
     # Queries (thin wrappers over the engine)

@@ -46,6 +46,7 @@ from ..core.knn import knn_search
 from ..core.queries import QueryStats, SKResult
 from ..errors import QueryError
 from ..network.distance import PairwiseDistanceComputer
+from ..obs.profiler import executing_plan
 from .context import ExecutionContext
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard
@@ -85,15 +86,24 @@ class QueryEngine:
         touching global state).
         """
         ctx = ExecutionContext(self.db, plan, tracer)
-        with ctx:
-            if plan.kind == "sk":
-                result = self._execute_sk(plan, ctx)
-            elif plan.kind == "knn":
-                result = self._execute_knn(plan, ctx)
-            elif plan.kind == "diversified":
-                result = self._execute_diversified(plan, ctx)
-            else:  # pragma: no cover — QueryPlan validates kind
-                raise QueryError(f"unknown plan kind {plan.kind!r}")
+        # Publish the plan label for the sampling profiler: stacks
+        # sampled on this thread while the query runs are attributed
+        # to e.g. "SIF/COM" (two dict writes per query — negligible).
+        try:
+            with executing_plan(
+                f"{plan.label} [{self.db.distance_backend}]"
+            ), ctx:
+                if plan.kind == "sk":
+                    result = self._execute_sk(plan, ctx)
+                elif plan.kind == "knn":
+                    result = self._execute_knn(plan, ctx)
+                elif plan.kind == "diversified":
+                    result = self._execute_diversified(plan, ctx)
+                else:  # pragma: no cover — QueryPlan validates kind
+                    raise QueryError(f"unknown plan kind {plan.kind!r}")
+        except Exception:
+            self.db._record_query_error(plan.kind, plan.label)
+            raise
         kind = plan.kind
         if kind == "diversified":
             kind = f"diversified/{plan.algorithm}"

@@ -16,6 +16,15 @@ traces to Chrome trace-event JSON and registries to Prometheus text,
 :mod:`repro.obs.slowlog` captures threshold-crossing queries with
 their span trees, and :mod:`repro.obs.slo` evaluates declarative
 service-level objectives against a registry snapshot.
+
+The live plane builds on those primitives: :mod:`repro.obs.rollup`
+keeps a sliding window of recent latency/error/cache-hit data and
+feeds the same declarative SLO rules *continuously*
+(:class:`~repro.obs.rollup.LiveSLOMonitor`);
+:mod:`repro.obs.profiler` samples wall-clock stacks and attributes
+them to the executing plan; :mod:`repro.obs.server` serves it all over
+HTTP (``/metrics``, ``/healthz``, ``/vars``, ``/slowlog``,
+``/profile``, ``/slo``) for scraping while a workload runs.
 """
 
 from .explain import ExplainReport, render_span_tree
@@ -26,12 +35,22 @@ from .export import (
     write_chrome_trace,
     write_prometheus,
 )
+from .export import escape_label_value
 from .metrics import Counter, Histogram, MetricsRegistry, StageClock
+from .profiler import (
+    SamplingProfiler,
+    executing_plan,
+    parse_folded,
+    render_profile,
+)
+from .rollup import LiveSLOMonitor, SlidingWindowRollup, WindowSnapshot
+from .server import TelemetryServer
 from .sinks import InMemorySink, JsonLinesSink, Sink
 from .slo import SLOCheck, SLORule, SLOSpec, evaluate_slo
 from .slowlog import (
     SlowQueryLog,
     SlowQueryThreshold,
+    render_breach_record,
     render_record,
     stats_to_dict,
 )
@@ -68,9 +87,19 @@ __all__ = [
     "SlowQueryLog",
     "SlowQueryThreshold",
     "render_record",
+    "render_breach_record",
     "stats_to_dict",
     "SLOSpec",
     "SLORule",
     "SLOCheck",
     "evaluate_slo",
+    "SlidingWindowRollup",
+    "WindowSnapshot",
+    "LiveSLOMonitor",
+    "SamplingProfiler",
+    "executing_plan",
+    "parse_folded",
+    "render_profile",
+    "TelemetryServer",
+    "escape_label_value",
 ]

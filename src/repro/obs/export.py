@@ -26,6 +26,7 @@ Two wire formats, both dependency-free:
 from __future__ import annotations
 
 import json
+import math
 import re
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional, Union
@@ -39,6 +40,9 @@ __all__ = [
     "prometheus_text",
     "write_prometheus",
     "database_gauges",
+    "escape_label_value",
+    "VALID_METRIC_NAME",
+    "VALID_LABEL_NAME",
 ]
 
 
@@ -162,6 +166,10 @@ def write_chrome_trace(
 # Prometheus text exposition
 # ----------------------------------------------------------------------
 _NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+#: The exposition-format grammar for metric names (strict scrapers
+#: reject anything else); label names additionally forbid the colon.
+VALID_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+VALID_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 
 def _metric_name(name: str, prefix: str) -> str:
@@ -171,12 +179,66 @@ def _metric_name(name: str, prefix: str) -> str:
     return sanitised
 
 
+def _label_name(name: str) -> str:
+    sanitised = _NAME_RE.sub("_", name).replace(":", "_")
+    if not sanitised or sanitised[0].isdigit():
+        sanitised = "_" + sanitised
+    return sanitised
+
+
+def escape_label_value(value: str) -> str:
+    """Escape per the exposition format: backslash, quote, newline.
+
+    Plan labels like ``SIF/COM`` are legal label *values* as-is (any
+    UTF-8 goes), but quotes/backslashes/newlines must be escaped or
+    the scrape line is unparseable.
+    """
+    return (
+        value.replace("\\", r"\\").replace('"', r'\"').replace("\n", r"\n")
+    )
+
+
 def _fmt_value(value: float) -> str:
     if value != value:  # NaN
         return "NaN"
     if value in (float("inf"), float("-inf")):
         return "+Inf" if value > 0 else "-Inf"
     return repr(float(value)) if isinstance(value, float) else str(value)
+
+
+def _split_labelled(name: str):
+    """Split the ``family#value`` labelled-counter convention.
+
+    Counters named e.g. ``query.plan#SIF/COM`` expose one Prometheus
+    family ``query_plan`` with a label named after the family's last
+    segment: ``repro_query_plan{plan="SIF/COM"}``.  Returns
+    ``(family, label_name, label_value)``; label parts are ``None``
+    for plain names.
+    """
+    family, sep, value = name.partition("#")
+    if not sep:
+        return name, None, None
+    label = _label_name(family.rsplit(".", 1)[-1] or "label")
+    return family, label, value
+
+
+class _Family:
+    """One exposition family: TYPE/HELP emitted once, then samples."""
+
+    __slots__ = ("metric", "kind", "help", "samples")
+
+    def __init__(self, metric: str, kind: str, help_text: str) -> None:
+        self.metric = metric
+        self.kind = kind
+        self.help = help_text
+        self.samples: List[str] = []
+
+    def lines(self) -> List[str]:
+        return [
+            f"# HELP {self.metric} {self.help}",
+            f"# TYPE {self.metric} {self.kind}",
+            *self.samples,
+        ]
 
 
 def prometheus_text(
@@ -190,29 +252,81 @@ def prometheus_text(
     rates, pool occupancy — see :func:`database_gauges`) as ``gauge``
     metrics.  Empty histograms are skipped entirely — a summary with
     NaN quantiles scrapes as an error in strict parsers.
+
+    The output follows the exposition format strictly: names are
+    sanitised to the metric-name grammar, ``# HELP``/``# TYPE`` are
+    emitted exactly once per family (two raw names that sanitise to
+    the same family share one header instead of emitting a duplicate,
+    which strict parsers reject), label values are escaped, and
+    counters following the ``family#value`` convention (e.g. the
+    per-plan ``query.plan#SIF/COM``) become labelled samples of one
+    family.  The registry is read under its lock, so scraping a
+    database mid-workload never observes a half-sorted histogram.
     """
-    lines: List[str] = []
-    for name, value in registry.counters().items():
-        metric = _metric_name(name, prefix)
-        lines.append(f"# TYPE {metric} counter")
-        lines.append(f"{metric} {value}")
-    for name, hist in sorted(registry.histograms().items()):
-        if not hist.count:
-            continue
-        metric = _metric_name(name, prefix)
-        lines.append(f"# TYPE {metric} summary")
-        for q in (0.5, 0.95, 0.99):
-            lines.append(
-                f'{metric}{{quantile="{q}"}} '
-                f"{_fmt_value(hist.percentile(q * 100))}"
+    families: Dict[str, _Family] = {}
+
+    def family(raw: str, kind: str) -> _Family:
+        metric = _metric_name(raw, prefix)
+        existing = families.get(metric)
+        if existing is None:
+            # HELP text references the *sanitised* family name only —
+            # raw dotted names never leak into the exposition.
+            existing = families[metric] = _Family(
+                metric, kind, f"repro {kind} {metric}"
             )
-        lines.append(f"{metric}_sum {_fmt_value(hist.total)}")
-        lines.append(f"{metric}_count {hist.count}")
+        return existing
+
+    locked = getattr(registry, "locked", None)
+    lock_cm = locked() if locked is not None else _null_cm()
+    with lock_cm:
+        for name, value in registry.counters().items():
+            base, label, label_value = _split_labelled(name)
+            fam = family(base, "counter")
+            if label is None:
+                fam.samples.append(f"{fam.metric} {value}")
+            else:
+                fam.samples.append(
+                    f'{fam.metric}{{{label}="'
+                    f'{escape_label_value(label_value)}"}} {value}'
+                )
+        for name, hist in sorted(registry.histograms().items()):
+            if not hist.count:
+                continue
+            fam = family(name, "summary")
+            for q in (0.5, 0.95, 0.99):
+                fam.samples.append(
+                    f'{fam.metric}{{quantile="{q}"}} '
+                    f"{_fmt_value(hist.percentile(q * 100))}"
+                )
+            fam.samples.append(f"{fam.metric}_sum {_fmt_value(hist.total)}")
+            fam.samples.append(f"{fam.metric}_count {hist.count}")
     for name, value in sorted((gauges or {}).items()):
-        metric = _metric_name(name, prefix)
-        lines.append(f"# TYPE {metric} gauge")
-        lines.append(f"{metric} {_fmt_value(value)}")
+        if not math.isfinite(value):
+            # A NaN/Inf gauge (e.g. hit rate before any access) reads
+            # as a measurement to downstream alerting; omit it, like
+            # empty histograms.
+            continue
+        base, label, label_value = _split_labelled(name)
+        fam = family(base, "gauge")
+        if label is None:
+            fam.samples.append(f"{fam.metric} {_fmt_value(value)}")
+        else:
+            fam.samples.append(
+                f'{fam.metric}{{{label}="'
+                f'{escape_label_value(label_value)}"}} {_fmt_value(value)}'
+            )
+    lines: List[str] = []
+    for fam in families.values():
+        lines.extend(fam.lines())
     return "\n".join(lines) + "\n"
+
+
+class _null_cm:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
 
 
 def database_gauges(db) -> Dict[str, float]:

@@ -269,6 +269,19 @@ class MetricsRegistry:
         self.close()
 
     # -- reporting ----------------------------------------------------
+    @contextmanager
+    def locked(self):
+        """Hold the registry lock across a multi-step read.
+
+        A live scrape (:func:`repro.obs.export.prometheus_text`) reads
+        histogram percentiles — which sort the sample store in place —
+        while workers keep observing; taking the same lock the
+        recording paths use makes the whole exposition one consistent,
+        race-free snapshot.
+        """
+        with self._lock:
+            yield self
+
     def counters(self) -> Dict[str, int]:
         with self._lock:
             return {

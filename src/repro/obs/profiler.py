@@ -1,0 +1,322 @@
+"""Always-on sampling wall-clock profiler (flamegraph-ready).
+
+A :class:`SamplingProfiler` is a daemon thread that wakes ``hz`` times
+per second, grabs ``sys._current_frames()`` and folds every sampled
+thread's stack into a bounded ``stack → count`` table.  The folded
+keys are the classic *flamegraph* format — frames joined by ``;``,
+root first — so the output of :meth:`SamplingProfiler.folded_text`
+feeds ``flamegraph.pl`` (or speedscope's "folded" importer) directly.
+
+Two properties make it serviceable in a live system:
+
+* **Plan-label attribution.**  The query engine publishes the plan
+  label of the query each worker thread is currently executing
+  (:func:`executing_plan`); sampled stacks are prefixed with it plus
+  the distance backend, so the table splits by ``SIF/COM`` vs
+  ``SIF/SEQ`` (and ``dijkstra`` vs ``ch``) without any per-sample
+  bookkeeping in the hot path — the engine pays two dict writes per
+  *query*, not per sample.
+
+* **Bounded memory.**  At most ``max_stacks`` distinct folded stacks
+  are kept; beyond that, new stacks collapse into a single
+  ``<overflow>`` bucket (counted, never silently dropped), and stack
+  depth is truncated at ``max_depth`` frames.
+
+Overhead scales with ``hz`` times the number of live threads; at the
+default 67 Hz it stays within the repo's ≤5 % observability budget
+(``benchmarks/test_profiler_overhead.py`` measures it).  67 is prime
+so the sampling beat cannot phase-lock with second-aligned workload
+periodicity.
+
+``repro profile FILE`` renders a persisted folded file as a top-N
+report; the telemetry server serves the live table at ``/profile``.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "SamplingProfiler",
+    "executing_plan",
+    "current_plan_labels",
+    "parse_folded",
+    "render_profile",
+]
+
+DEFAULT_HZ = 67.0
+
+#: thread ident → plan label, published by the query engine for the
+#: duration of each query.  A plain dict: per-entry set/delete are
+#: GIL-atomic, and the sampler only ever reads a copy.
+_PLAN_LABELS: Dict[int, str] = {}
+
+
+class _PlanLabelScope:
+    """Context manager publishing this thread's current plan label."""
+
+    __slots__ = ("_ident",)
+
+    def __init__(self, label: str) -> None:
+        self._ident = threading.get_ident()
+        _PLAN_LABELS[self._ident] = label
+
+    def __enter__(self) -> "_PlanLabelScope":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        _PLAN_LABELS.pop(self._ident, None)
+
+
+def executing_plan(label: str) -> _PlanLabelScope:
+    """Attribute this thread's samples to ``label`` while inside."""
+    return _PlanLabelScope(label)
+
+
+def current_plan_labels() -> Dict[int, str]:
+    """Snapshot of thread ident → executing plan label (for tests)."""
+    return dict(_PLAN_LABELS)
+
+
+def _frame_name(frame) -> str:
+    code = frame.f_code
+    filename = code.co_filename.rsplit("/", 1)[-1]
+    return f"{filename}:{code.co_name}"
+
+
+class SamplingProfiler:
+    """Sampling wall-clock profiler over ``sys._current_frames()``.
+
+    ``hz`` sets the sampling rate; ``max_stacks``/``max_depth`` bound
+    memory.  ``only_labelled=True`` restricts samples to threads that
+    are currently executing a query plan (the load-driver default:
+    dataset building and the driver's own sleep loop stay out of the
+    flamegraph); the default samples every thread, attributing
+    unlabelled ones to their thread name.
+    """
+
+    def __init__(
+        self,
+        hz: float = DEFAULT_HZ,
+        max_stacks: int = 4096,
+        max_depth: int = 64,
+        only_labelled: bool = False,
+    ) -> None:
+        if hz <= 0:
+            raise ValueError("hz must be positive")
+        if max_stacks < 1 or max_depth < 1:
+            raise ValueError("max_stacks and max_depth must be >= 1")
+        self.hz = float(hz)
+        self.max_stacks = max_stacks
+        self.max_depth = max_depth
+        self.only_labelled = only_labelled
+        self._interval = 1.0 / self.hz
+        self._counts: Dict[str, int] = {}
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        #: Total samples taken (one per sampled thread per wake-up).
+        self.samples = 0
+        #: Wake-ups that found nothing to sample (all threads idle or
+        #: unlabelled under ``only_labelled``).
+        self.empty_wakeups = 0
+        #: Distinct stacks that collapsed into the overflow bucket.
+        self.overflowed = 0
+        self.started_at: Optional[float] = None
+        self.stopped_at: Optional[float] = None
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "SamplingProfiler":
+        if self.running:
+            return self
+        self._stop.clear()
+        self.started_at = time.monotonic()
+        self.stopped_at = None
+        self._thread = threading.Thread(
+            target=self._run, name="repro-profiler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> "SamplingProfiler":
+        """Stop sampling; idempotent, joins the sampler thread."""
+        thread = self._thread
+        if thread is None:
+            return self
+        self._stop.set()
+        thread.join(timeout=5.0)
+        self._thread = None
+        if self.stopped_at is None:
+            self.stopped_at = time.monotonic()
+        return self
+
+    def __enter__(self) -> "SamplingProfiler":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- sampling ------------------------------------------------------
+    def _run(self) -> None:
+        own_ident = threading.get_ident()
+        while not self._stop.wait(self._interval):
+            self._sample_once(own_ident)
+
+    def _sample_once(self, own_ident: int) -> None:
+        frames = sys._current_frames()
+        labels = dict(_PLAN_LABELS)
+        names: Dict[int, str] = {}
+        if not self.only_labelled:
+            for thread in threading.enumerate():
+                ident = thread.ident
+                if ident is not None:
+                    names[ident] = thread.name
+        sampled = 0
+        folded: List[str] = []
+        for ident, frame in frames.items():
+            if ident == own_ident:
+                continue
+            label = labels.get(ident)
+            if label is None:
+                if self.only_labelled:
+                    continue
+                label = names.get(ident, f"thread-{ident}")
+            stack: List[str] = []
+            depth = 0
+            while frame is not None and depth < self.max_depth:
+                stack.append(_frame_name(frame))
+                frame = frame.f_back
+                depth += 1
+            stack.append(label)
+            stack.reverse()
+            folded.append(";".join(stack))
+            sampled += 1
+        with self._lock:
+            self.samples += sampled
+            if not sampled:
+                self.empty_wakeups += 1
+            for key in folded:
+                self._record(key)
+
+    def _record(self, key: str) -> None:
+        """Count one folded stack, bounded by ``max_stacks``.
+
+        Callers hold ``self._lock`` (the sampler thread does); the test
+        suite drives this directly to exercise the overflow bucket
+        deterministically.
+        """
+        count = self._counts.get(key)
+        if count is not None:
+            self._counts[key] = count + 1
+        elif len(self._counts) < self.max_stacks:
+            self._counts[key] = 1
+        else:
+            self.overflowed += 1
+            self._counts["<overflow>"] = (
+                self._counts.get("<overflow>", 0) + 1
+            )
+
+    # -- reporting -----------------------------------------------------
+    def folded(self) -> Dict[str, int]:
+        """Snapshot of the folded-stack table (stack → sample count)."""
+        with self._lock:
+            return dict(self._counts)
+
+    def folded_text(self) -> str:
+        """The flamegraph.pl-ready text: ``stack count`` per line."""
+        table = self.folded()
+        lines = [
+            f"{stack} {count}"
+            for stack, count in sorted(
+                table.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        ]
+        return "\n".join(lines) + ("\n" if lines else "")
+
+    def write_folded(self, path) -> None:
+        from pathlib import Path
+
+        Path(path).write_text(self.folded_text(), encoding="utf-8")
+
+    def stats(self) -> Dict[str, float]:
+        elapsed = None
+        if self.started_at is not None:
+            end = self.stopped_at if self.stopped_at is not None else time.monotonic()
+            elapsed = end - self.started_at
+        with self._lock:
+            return {
+                "hz": self.hz,
+                "samples": self.samples,
+                "distinct_stacks": len(self._counts),
+                "empty_wakeups": self.empty_wakeups,
+                "overflowed": self.overflowed,
+                "elapsed_seconds": elapsed if elapsed is not None else 0.0,
+            }
+
+
+# ----------------------------------------------------------------------
+# Folded-file rendering (``repro profile FILE``)
+# ----------------------------------------------------------------------
+def parse_folded(lines: Iterable[str]) -> Dict[str, int]:
+    """Parse ``stack count`` lines back into a folded table.
+
+    Blank and malformed lines are skipped (a truncated file from a
+    killed run still renders).
+    """
+    table: Dict[str, int] = {}
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        stack, _, count = line.rpartition(" ")
+        if not stack or not count.isdigit():
+            continue
+        table[stack] = table.get(stack, 0) + int(count)
+    return table
+
+
+def _aggregate(
+    table: Dict[str, int], key
+) -> List[Tuple[str, int]]:
+    agg: Dict[str, int] = {}
+    for stack, count in table.items():
+        agg[key(stack)] = agg.get(key(stack), 0) + count
+    return sorted(agg.items(), key=lambda kv: (-kv[1], kv[0]))
+
+
+def render_profile(table: Dict[str, int], top: int = 15) -> str:
+    """Human-readable top-N report over a folded table.
+
+    Three sections: samples by plan label (the stack root), by leaf
+    frame (where the time was actually spent), and the hottest whole
+    stacks.  Percentages are of all samples in the table.
+    """
+    total = sum(table.values())
+    if not total:
+        return "no profile samples"
+    lines = [f"{total} samples, {len(table)} distinct stacks"]
+
+    def _section(title: str, rows: List[Tuple[str, int]]) -> None:
+        lines.append(f"\n{title}")
+        for name, count in rows[:top]:
+            lines.append(f"  {100.0 * count / total:5.1f}%  {count:>8}  {name}")
+
+    _section("by plan label:", _aggregate(table, lambda s: s.split(";", 1)[0]))
+    _section("by leaf frame:", _aggregate(table, lambda s: s.rsplit(";", 1)[-1]))
+    hottest = sorted(table.items(), key=lambda kv: (-kv[1], kv[0]))
+    lines.append("\nhottest stacks:")
+    for stack, count in hottest[:top]:
+        frames = stack.split(";")
+        shown = ";".join(frames[-4:]) if len(frames) > 4 else stack
+        prefix = "…;" if len(frames) > 4 else ""
+        lines.append(
+            f"  {100.0 * count / total:5.1f}%  {count:>8}  {prefix}{shown}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Live observability endpoint: a stdlib HTTP server over one database.
+
+PR 1–6 observability is end-of-run and file-based: ``--prom`` writes a
+final Prometheus exposition, ``--metrics`` a JSON-lines stream you
+read afterwards.  A serving process (the ROADMAP's shard-per-process
+item) needs *scrape targets*: something Prometheus polls every few
+seconds while traffic flows.  :class:`TelemetryServer` is that target
+— a ``ThreadingHTTPServer`` on a daemon thread, reading the same
+registry/gauges/slowlog/rollup/profiler state the rest of
+:mod:`repro.obs` maintains, with no third-party dependencies.
+
+Routes
+------
+``/metrics``   Prometheus text exposition (lifetime counters +
+               histogram summaries + point-in-time gauges); the
+               registry is read under its lock, so scraping a busy
+               database never sees a half-updated histogram.
+``/healthz``   liveness JSON: status, ``data_version`` (epoch),
+               uptime, lifetime query/error counts.
+``/vars``      the full JSON snapshot: registry counters + histogram
+               summaries, database gauges, the current sliding-window
+               rollup and the live SLO verdict when installed.
+``/slowlog``   recent slow-query records as JSON (``?limit=N``;
+               span trees stripped unless ``?trace=1`` — they dwarf
+               the rest of the record).
+``/profile``   the sampling profiler's folded stacks (flamegraph.pl
+               format) when a profiler is attached.
+``/slo``       evaluates the live SLO monitor against the current
+               window and returns its verdict.
+
+Every hit counts ``telemetry.scrapes`` plus a per-route
+``telemetry.scrape#<route>`` labelled counter, so the scrape traffic
+itself is visible in ``/metrics``.
+
+Start it in-process with :meth:`Database.serve_telemetry(port)
+<repro.core.database.Database.serve_telemetry>` or from any workload
+CLI with ``--telemetry-port``; ``port=0`` binds an ephemeral port
+(read it back from ``server.port``).
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .export import database_gauges, prometheus_text
+
+__all__ = ["TelemetryServer", "PROMETHEUS_CONTENT_TYPE"]
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+_JSON = "application/json; charset=utf-8"
+_TEXT = "text/plain; charset=utf-8"
+
+
+class _Handler(BaseHTTPRequestHandler):
+    """Routes requests to the owning :class:`TelemetryServer`."""
+
+    server_version = "repro-telemetry/1.0"
+    protocol_version = "HTTP/1.1"
+
+    def log_message(self, format, *args):  # noqa: A002 — stdlib signature
+        pass  # scrapes every few seconds must not spam stderr
+
+    def do_GET(self) -> None:  # noqa: N802 — stdlib casing
+        telemetry: "TelemetryServer" = self.server.telemetry  # type: ignore[attr-defined]
+        parsed = urlparse(self.path)
+        try:
+            status, content_type, body = telemetry.handle(
+                parsed.path, parse_qs(parsed.query)
+            )
+        except Exception as exc:  # noqa: BLE001 — a scrape must answer
+            status, content_type = 500, _TEXT
+            body = f"telemetry handler error: {exc!r}\n".encode()
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+
+class TelemetryServer:
+    """The live scrape endpoint of one database (see module docstring)."""
+
+    def __init__(
+        self,
+        db,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        prefix: str = "repro",
+    ) -> None:
+        self.db = db
+        self.prefix = prefix
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.telemetry = self  # type: ignore[attr-defined]
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread: Optional[threading.Thread] = None
+        self._started_monotonic = time.monotonic()
+
+    # -- lifecycle -----------------------------------------------------
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def start(self) -> "TelemetryServer":
+        if self.running:
+            return self
+        self._started_monotonic = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name=f"repro-telemetry-{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def close(self) -> None:
+        """Stop serving and release the socket; idempotent."""
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            self._httpd.shutdown()
+            thread.join(timeout=5.0)
+        self._httpd.server_close()
+
+    def __enter__(self) -> "TelemetryServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- routing -------------------------------------------------------
+    def handle(
+        self, path: str, query: Dict[str, Any]
+    ) -> Tuple[int, str, bytes]:
+        """Dispatch one request; returns (status, content type, body)."""
+        route = path.rstrip("/") or "/"
+        handler = {
+            "/": self._index,
+            "/metrics": self._metrics,
+            "/healthz": self._healthz,
+            "/vars": self._vars,
+            "/slowlog": self._slowlog,
+            "/profile": self._profile,
+            "/slo": self._slo,
+        }.get(route)
+        if handler is None:
+            return 404, _TEXT, f"no such route {path!r}\n".encode()
+        self.db.metrics.inc("telemetry.scrapes")
+        self.db.metrics.inc(f"telemetry.scrape#{route.lstrip('/') or 'index'}")
+        return handler(query)
+
+    def _json(self, payload: Any, status: int = 200) -> Tuple[int, str, bytes]:
+        body = json.dumps(payload, indent=1, default=str).encode() + b"\n"
+        return status, _JSON, body
+
+    # -- routes --------------------------------------------------------
+    def _index(self, query) -> Tuple[int, str, bytes]:
+        routes = "\n".join(
+            ("/metrics", "/healthz", "/vars", "/slowlog", "/profile", "/slo")
+        )
+        return 200, _TEXT, (routes + "\n").encode()
+
+    def _metrics(self, query) -> Tuple[int, str, bytes]:
+        text = prometheus_text(
+            self.db.metrics,
+            prefix=self.prefix,
+            gauges=database_gauges(self.db),
+        )
+        return 200, PROMETHEUS_CONTENT_TYPE, text.encode()
+
+    def _healthz(self, query) -> Tuple[int, str, bytes]:
+        counters = self.db.metrics.counters()
+        return self._json({
+            "status": "ok",
+            "data_version": getattr(self.db, "data_version", 0),
+            "epoch": getattr(self.db, "data_version", 0),
+            "uptime_seconds": round(self.db.uptime_seconds(), 3),
+            "queries": counters.get("query.count", 0),
+            "errors": counters.get("query.errors", 0),
+            "updates": len(getattr(self.db, "update_journal", ()) or ()),
+        })
+
+    def _vars(self, query) -> Tuple[int, str, bytes]:
+        payload = self.db.metrics.snapshot()
+        payload["gauges"] = database_gauges(self.db)
+        payload["data_version"] = getattr(self.db, "data_version", 0)
+        payload["uptime_seconds"] = round(self.db.uptime_seconds(), 3)
+        rollup = getattr(self.db, "rollup", None)
+        payload["window"] = (
+            rollup.snapshot().to_dict() if rollup is not None else None
+        )
+        monitor = getattr(self.db, "live_slo", None)
+        payload["slo"] = monitor.verdict() if monitor is not None else None
+        return self._json(payload)
+
+    def _slowlog(self, query) -> Tuple[int, str, bytes]:
+        log = getattr(self.db, "slow_query_log", None)
+        if log is None:
+            return self._json(
+                {"installed": False, "records": []}, status=200
+            )
+        records = log.records()
+        limit = query.get("limit")
+        if limit:
+            try:
+                records = records[-int(limit[0]):]
+            except ValueError:
+                return 400, _TEXT, b"limit must be an integer\n"
+        want_trace = query.get("trace", ["0"])[0] not in ("0", "", "false")
+        if not want_trace:
+            records = [
+                {key: value for key, value in record.items() if key != "trace"}
+                for record in records
+            ]
+        return self._json({
+            "installed": True,
+            "summary": log.summary(),
+            "records": records,
+        })
+
+    def _profile(self, query) -> Tuple[int, str, bytes]:
+        profiler = getattr(self.db, "profiler", None)
+        if profiler is None:
+            return 404, _TEXT, b"no sampling profiler attached\n"
+        return 200, _TEXT, profiler.folded_text().encode()
+
+    def _slo(self, query) -> Tuple[int, str, bytes]:
+        monitor = getattr(self.db, "live_slo", None)
+        if monitor is None:
+            return 404, _TEXT, b"no live SLO monitor installed\n"
+        monitor.evaluate()
+        return self._json(monitor.verdict())

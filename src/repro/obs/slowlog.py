@@ -34,6 +34,7 @@ __all__ = [
     "SlowQueryLog",
     "stats_to_dict",
     "render_record",
+    "render_breach_record",
 ]
 
 
@@ -223,6 +224,22 @@ class SlowQueryLog:
                 self._sink.emit(record)
             return record
 
+    def note(self, record: Dict[str, Any]) -> None:
+        """Append a non-query annotation to the log's record stream.
+
+        Used by the live SLO monitor to interleave ``slo_breach``
+        events with the slow queries of the same window, so one
+        ``repro slowlog FILE`` render tells the whole story.  Notes
+        share the record bound but do not count as captured queries.
+        """
+        with self._lock:
+            if len(self._records) >= self.max_records:
+                self._records.pop(0)
+                self.dropped += 1
+            self._records.append(record)
+            if self._sink is not None:
+                self._sink.emit(record)
+
     def records(self) -> List[Dict[str, Any]]:
         """Captured records, oldest first (snapshot copy)."""
         with self._lock:
@@ -248,15 +265,47 @@ class SlowQueryLog:
             self._sink.close()
 
 
+def render_breach_record(record: Dict[str, Any]) -> str:
+    """Narrate one ``slo_breach`` note (from the live SLO monitor)."""
+    window = record.get("window", {}) or {}
+    header = (
+        f"SLO BREACH  [{record.get('spec', '?')}]  "
+        f"window {window.get('window_seconds', '?')}s: "
+        f"{window.get('count', '?')} queries, "
+        f"qps {window.get('qps', 0.0):.1f}, "
+        f"error rate {100.0 * window.get('error_rate', 0.0):.1f}%"
+    )
+    lines = [header]
+    for check in record.get("failed", ()):
+        rule = check.get("rule", {})
+        value = check.get("value")
+        shown = f"{value:.6g}" if isinstance(value, (int, float)) else "?"
+        lines.append(
+            f"  FAIL {rule.get('name', '?')}: {rule.get('metric', '?')} = "
+            f"{shown} (want {rule.get('op', '?')} "
+            f"{rule.get('threshold', '?')})"
+        )
+    return "\n".join(lines)
+
+
 def render_record(record: Dict[str, Any]) -> str:
     """Narrate one slow-query record (the ``repro slowlog`` renderer).
 
-    The header states what crossed which bound; the body reuses the
+    The header states what crossed which bound (plus the data epoch
+    and a result-cache marker when present); the body reuses the
     EXPLAIN narrator over the persisted span tree when one was
-    captured, and falls back to the stage breakdown otherwise.
+    captured, and falls back to the stage breakdown otherwise.  A
+    record whose span tree is absent or malformed (tracing disabled,
+    truncated file, older schema) renders from its stats instead of
+    failing, so one bad line never kills a whole ``repro slowlog``
+    run.  ``slo_breach`` notes render through
+    :func:`render_breach_record`.
     """
     from .explain import render_span_tree  # deferred: explain imports us
 
+    if record.get("type") == "slo_breach":
+        return render_breach_record(record)
+    stats = record.get("stats") or {}
     wall_ms = record.get("wall_seconds", 0.0) * 1e3
     header = (
         f"SLOW QUERY #{record.get('seq', '?')}  "
@@ -265,12 +314,25 @@ def render_record(record: Dict[str, Any]) -> str:
         f"(exceeded: {', '.join(record.get('exceeded', ())) or '?'}; "
         f"worker {record.get('worker') or '?'})"
     )
+    epoch = stats.get("epoch")
+    if epoch:
+        header += f"  [epoch {epoch}]"
+    if stats.get("result_cache_hit"):
+        header += "  [result-cache HIT]"
     lines = [header]
+    rendered_trace = None
     trace = record.get("trace")
     if trace:
-        lines.append(render_span_tree(Span.from_dict(trace)))
+        try:
+            if not isinstance(trace, dict) or "name" not in trace:
+                raise ValueError("not a serialised span tree")
+            rendered_trace = render_span_tree(Span.from_dict(trace))
+        except Exception:  # noqa: BLE001 — malformed tree, fall back
+            lines.append("  (span tree malformed — rendering stats)")
+    if rendered_trace is not None:
+        lines.append(rendered_trace)
     else:
-        stages = record.get("stats", {}).get("stage_seconds", {})
+        stages = stats.get("stage_seconds", {})
         if stages:
             breakdown = ", ".join(
                 f"{stage} {seconds * 1e3:.3f} ms"
@@ -279,5 +341,6 @@ def render_record(record: Dict[str, Any]) -> str:
                 )
             )
             lines.append(f"  stages: {breakdown}")
-        lines.append("  (no span tree captured — run with tracing on)")
+        if not trace:
+            lines.append("  (no span tree captured — run with tracing on)")
     return "\n".join(lines)

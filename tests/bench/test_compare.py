@@ -5,9 +5,11 @@ import json
 import pytest
 
 from repro.bench.compare import (
+    PresenceChange,
     compare_trajectories,
     load_trajectory,
     metric_direction,
+    presence_changes,
     render_comparison,
 )
 
@@ -91,3 +93,67 @@ class TestLoad:
         bad.write_text(json.dumps({"schema": "other/v9"}))
         with pytest.raises(ValueError):
             load_trajectory(bad)
+
+
+class TestPresence:
+    def test_no_changes_for_identical_docs(self):
+        doc = _doc({"fig": {"avg_ms": 1.0}})
+        assert presence_changes(doc, doc) == []
+
+    def test_added_and_removed_figures(self):
+        old = _doc({"a": {"avg_ms": 1.0}, "b": {"avg_ms": 2.0}})
+        new = _doc({"a": {"avg_ms": 1.0}, "c": {"avg_ms": 3.0}})
+        changes = presence_changes(old, new)
+        assert [(c.figure, c.metric, c.status) for c in changes] == [
+            ("b", None, "removed"),
+            ("c", None, "added"),
+        ]
+
+    def test_added_and_removed_headline_metrics(self):
+        old = _doc({"fig": {"avg_ms": 1.0, "qps": 100.0}})
+        new = _doc({"fig": {"avg_ms": 1.0, "speedup": 2.0}})
+        changes = presence_changes(old, new)
+        by_status = {(c.metric, c.status) for c in changes}
+        assert ("qps", "removed") in by_status
+        assert ("speedup", "added") in by_status
+        # Values travel with the change for the report.
+        removed = next(c for c in changes if c.status == "removed")
+        assert removed.value == 100.0
+
+    def test_context_columns_ignored(self):
+        old = _doc({"fig": {"avg_ms": 1.0, "k": 6}})
+        new = _doc({"fig": {"avg_ms": 1.0, "workers": 4}})
+        assert presence_changes(old, new) == []
+
+    def test_one_sided_metric_never_crashes_compare(self):
+        old = _doc({"fig": {"qps": 100.0}})
+        new = _doc({"fig": {"avg_ms": 5.0}})
+        deltas = compare_trajectories(old, new)
+        assert deltas == []
+        changes = presence_changes(old, new)
+        assert len(changes) == 2
+
+    def test_render_includes_presence_section(self):
+        old = _doc({"fig": {"qps": 100.0, "avg_ms": 1.0}})
+        new = _doc({"fig": {"avg_ms": 1.0}})
+        changes = presence_changes(old, new)
+        text = render_comparison(
+            compare_trajectories(old, new), 10.0, presence=changes
+        )
+        assert "1 presence change(s)" in text
+        assert "REMOVED" in text
+        assert "fig.qps" in text
+        assert "not judged" in text
+
+    def test_render_without_presence_unchanged(self):
+        old = _doc({"fig": {"avg_ms": 1.0}})
+        text = render_comparison(compare_trajectories(old, old), 10.0)
+        assert "presence" not in text
+
+    def test_to_dict(self):
+        change = PresenceChange("fig", "qps", "added", 5.0)
+        assert change.to_dict() == {
+            "figure": "fig", "metric": "qps", "status": "added", "value": 5.0,
+        }
+        with pytest.raises(ValueError):
+            PresenceChange("fig", None, "mutated")

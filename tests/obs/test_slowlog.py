@@ -148,3 +148,87 @@ class TestEngineIntegration:
             assert log.summary()["observed"] == len(plans)
         finally:
             tiny_db.disable_slow_query_log()
+
+
+class TestTolerantRendering:
+    def test_malformed_span_tree_falls_back_to_stats(self):
+        stats = _stats(wall=0.02)
+        stats.stage_seconds["expansion"] = 0.015
+        log = SlowQueryLog(SlowQueryThreshold(latency_seconds=0))
+        record = log.offer("SIF/COM", "diversified", stats)
+        record["trace"] = {"not": "a span tree"}
+        text = render_record(record)
+        assert "SLOW QUERY #1" in text
+        assert "span tree malformed" in text
+        assert "expansion" in text
+
+    def test_header_carries_epoch_and_result_cache(self):
+        stats = _stats(wall=0.02)
+        stats.epoch = 7
+        stats.result_cache_hit = True
+        log = SlowQueryLog(SlowQueryThreshold(latency_seconds=0))
+        record = log.offer("SIF/COM", "diversified", stats)
+        text = render_record(record)
+        assert "[epoch 7]" in text
+        assert "[result-cache HIT]" in text
+
+    def test_pre_epoch_records_render(self):
+        """Records from older schemas (no epoch/result-cache) still render."""
+        record = {
+            "type": "slow_query", "seq": 1, "label": "L",
+            "wall_seconds": 0.01, "nodes_accessed": 5,
+            "exceeded": ["latency"], "worker": "w",
+            "stats": {"stage_seconds": {"expansion": 0.01}},
+        }
+        text = render_record(record)
+        assert "SLOW QUERY #1" in text
+        assert "[epoch" not in text
+
+    def test_note_appends_and_respects_bound(self):
+        log = SlowQueryLog(
+            SlowQueryThreshold(latency_seconds=0), max_records=2
+        )
+        log.offer("L", "sk", _stats())
+        log.note({"type": "slo_breach", "spec": "s", "window": {}, "failed": []})
+        log.note({"type": "slo_breach", "spec": "s2", "window": {}, "failed": []})
+        records = log.records()
+        assert len(records) == 2
+        assert log.dropped == 1
+        assert records[-1]["spec"] == "s2"
+
+    def test_note_streams_to_sink(self, tmp_path):
+        path = tmp_path / "slow.jsonl"
+        log = SlowQueryLog(
+            SlowQueryThreshold(latency_seconds=0), path=path
+        )
+        log.note({"type": "slo_breach", "spec": "s", "window": {}, "failed": []})
+        log.close()
+        lines = [json.loads(l) for l in path.read_text().splitlines()]
+        assert lines[0]["type"] == "slo_breach"
+
+    def test_render_breach_record(self):
+        from repro.obs.slowlog import render_breach_record
+
+        record = {
+            "type": "slo_breach",
+            "spec": "live",
+            "window": {
+                "window_seconds": 10.0, "count": 42, "qps": 4.2,
+                "error_rate": 0.25,
+            },
+            "failed": [{
+                "rule": {
+                    "name": "p95", "metric": "query.wall_seconds",
+                    "op": "<=", "threshold": 0.001,
+                },
+                "value": 0.5,
+            }],
+        }
+        text = render_breach_record(record)
+        assert "SLO BREACH" in text
+        assert "[live]" in text
+        assert "42 queries" in text
+        assert "error rate 25.0%" in text
+        assert "FAIL p95" in text
+        # render_record routes breach notes to the breach renderer.
+        assert render_record(record) == text

@@ -364,3 +364,138 @@ class TestExplainCommand:
         ]) == 0
         out = capsys.readouterr().out
         assert "slow-query verdict: SLOW — " in out
+
+
+class TestLoadtestCommand:
+    def _live_spec(self, tmp_path, threshold):
+        spec = {
+            "name": "live",
+            "rules": [
+                {"name": "observed-p95", "kind": "histogram_quantile",
+                 "metric": "loadtest.latency_seconds", "op": "<=",
+                 "threshold": threshold, "quantile": 95},
+            ],
+        }
+        path = tmp_path / "live-slo.json"
+        path.write_text(json.dumps(spec))
+        return path
+
+    def test_loadtest_runs_and_reports(self, capsys):
+        assert main([
+            "loadtest", "SYN", "--scale", "0.05", "--queries", "10",
+            "--keywords", "2", "--k", "4", "--workers", "2",
+            "--qps", "30", "--duration", "0.5",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "offered_qps" in out
+        assert "achieved_qps" in out
+        assert "max_lag_ms" in out
+
+    def test_loadtest_live_slo_pass(self, tmp_path, capsys):
+        spec = self._live_spec(tmp_path, threshold=30.0)
+        assert main([
+            "loadtest", "SYN", "--scale", "0.05", "--queries", "10",
+            "--keywords", "2", "--k", "4", "--workers", "2",
+            "--qps", "30", "--duration", "0.5", "--slo", str(spec),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "PASS" in captured.out
+        assert "Live SLO [live]" in captured.err
+
+    def test_loadtest_live_slo_breach_fails(self, tmp_path, capsys):
+        spec = self._live_spec(tmp_path, threshold=0.0)
+        assert main([
+            "loadtest", "SYN", "--scale", "0.05", "--queries", "10",
+            "--keywords", "2", "--k", "4", "--workers", "2",
+            "--qps", "30", "--duration", "0.5", "--slo", str(spec),
+        ]) == 1
+        captured = capsys.readouterr()
+        assert "FAIL" in captured.out
+        assert "live SLO gate FAILED" in captured.err
+
+    def test_loadtest_writes_profile(self, tmp_path, capsys):
+        out_path = tmp_path / "profile.folded"
+        assert main([
+            "loadtest", "SYN", "--scale", "0.05", "--queries", "10",
+            "--keywords", "2", "--k", "4", "--workers", "2",
+            "--qps", "30", "--duration", "0.5",
+            "--profile-out", str(out_path), "--profile-hz", "200",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "profile samples" in err
+        for line in out_path.read_text().splitlines():
+            stack, count = line.rsplit(" ", 1)
+            assert stack and int(count) > 0
+
+    def test_loadtest_with_telemetry_port(self, capsys):
+        # Port 0 binds an ephemeral port; the run must start/stop the
+        # server cleanly around the workload.
+        assert main([
+            "loadtest", "SYN", "--scale", "0.05", "--queries", "10",
+            "--keywords", "2", "--k", "4", "--workers", "2",
+            "--qps", "30", "--duration", "0.5", "--telemetry-port", "0",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "Telemetry: http://127.0.0.1:" in err
+
+
+class TestProfileCommand:
+    def test_renders_folded_file(self, tmp_path, capsys):
+        folded = tmp_path / "p.folded"
+        folded.write_text(
+            "SEQ;a.py:f;b.py:g 60\nCOM;a.py:f;c.py:h 40\n"
+        )
+        assert main(["profile", str(folded), "--top", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "by plan label:" in out
+        assert "SEQ" in out and "COM" in out
+
+    def test_missing_file_fails(self, tmp_path):
+        assert main(["profile", str(tmp_path / "absent.folded")]) == 1
+
+    def test_empty_file(self, tmp_path, capsys):
+        folded = tmp_path / "empty.folded"
+        folded.write_text("")
+        assert main(["profile", str(folded)]) == 0
+        assert "no profile samples" in capsys.readouterr().out
+
+
+class TestTelemetryFlag:
+    def test_workload_with_telemetry_port(self, capsys):
+        assert main([
+            "sk", "SYN", "--scale", "0.05", "--queries", "3",
+            "--keywords", "2", "--telemetry-port", "0",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "Telemetry: http://127.0.0.1:" in err
+
+
+class TestSlowlogToleranceCommand:
+    def test_skips_malformed_lines_and_renders_breaches(
+        self, tmp_path, capsys
+    ):
+        path = tmp_path / "slow.jsonl"
+        breach = {
+            "type": "slo_breach", "spec": "live",
+            "window": {"window_seconds": 10.0, "count": 5, "qps": 0.5,
+                       "error_rate": 0.0},
+            "failed": [{"rule": {"name": "p95", "metric": "m",
+                                 "op": "<=", "threshold": 0.1},
+                        "value": 0.5}],
+        }
+        record = {
+            "type": "slow_query", "seq": 1, "label": "L",
+            "wall_seconds": 0.01, "nodes_accessed": 5,
+            "exceeded": ["latency"], "worker": "w",
+            "stats": {"stage_seconds": {}},
+        }
+        path.write_text(
+            json.dumps(record) + "\n"
+            + json.dumps(breach) + "\n"
+            + '{"truncated": \n'
+        )
+        assert main(["slowlog", str(path)]) == 0
+        captured = capsys.readouterr()
+        assert "SLOW QUERY #1" in captured.out
+        assert "SLO BREACH" in captured.out
+        assert "skipped 1 malformed line(s)" in captured.err
