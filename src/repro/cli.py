@@ -108,8 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
             "--distance-backend", choices=DISTANCE_BACKENDS,
             default="dijkstra",
             help="exact pairwise-distance backend: bounded Dijkstras "
-                 "(default) or the Contraction-Hierarchies oracle "
-                 "(identical answers, built once per database)",
+                 "(default), the Contraction-Hierarchies oracle, or "
+                 "2-hop hub labels ('hub', needs numpy) — identical "
+                 "answers, built once per database",
         )
 
     def add_workload_args(p: argparse.ArgumentParser) -> None:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from ..nplib import np
 from ..obs.tracing import NULL_TRACER
 from .diversify import greedy_diversify
 from .objective import DiversificationObjective
@@ -26,6 +27,10 @@ from .queries import ResultItem
 __all__ = ["CorePair", "CorePairMaintainer"]
 
 PairDistance = Callable[[ResultItem, ResultItem], float]
+
+#: Below this many opponents a batched θ row costs more in array setup
+#: than the scalar loop it replaces.
+_ARRAY_ROW_MIN = 8
 
 
 @dataclass
@@ -53,6 +58,7 @@ class CorePairMaintainer:
         pair_distance: PairDistance,
         pair_distance_upper_bound: Optional[PairDistance] = None,
         tracer=NULL_TRACER,
+        array_scoring: bool = False,
     ) -> None:
         """``pair_distance_upper_bound`` optionally supplies a tighter
         upper bound on δ(a, b) than the triangle inequality through the
@@ -61,7 +67,14 @@ class CorePairMaintainer:
 
         ``tracer`` records a ``com.core_pair`` event on every CP
         insertion, so a trace shows when (and at what θ) the result set
-        last changed."""
+        last changed.
+
+        ``array_scoring`` batches each arrival's θ-upper-bound row
+        through numpy (:meth:`DiversificationObjective.theta_batch`)
+        instead of looping object-by-object — same bounds bit for bit,
+        same counters, so every pruning decision is unchanged.  Only
+        engaged when no landmark bound is installed (landmark bounds
+        are per-pair callbacks and force the scalar row)."""
         if k < 2:
             raise ValueError("k must be at least 2")
         self._k = k
@@ -70,6 +83,11 @@ class CorePairMaintainer:
         self._pair_distance = pair_distance
         self._pair_distance_ub = pair_distance_upper_bound
         self._tracer = tracer
+        self._array_scoring = (
+            array_scoring
+            and np is not None
+            and pair_distance_upper_bound is None
+        )
         self._pairs: List[CorePair] = []  # descending by theta
         #: every active (non-pruned) object seen so far, by id
         self._arrived: Dict[int, ResultItem] = {}
@@ -159,6 +177,44 @@ class CorePairMaintainer:
             self.ub_triangle_wins += 1
         return self._objective.theta(a.distance, b.distance, ub)
 
+    def _theta_row(
+        self,
+        item: ResultItem,
+        others: List[ResultItem],
+        theta_t_now: float,
+    ) -> Dict[int, float]:
+        """θ of ``item`` against every object in ``others``.
+
+        The θ upper bound (triangle inequality through the query) is
+        evaluated for the whole row; only opponents whose bound clears
+        ``theta_t_now`` get the exact (network-distance) θ.  Under
+        array scoring the bound row is one ``theta_batch`` call — the
+        per-element arithmetic is identical to the scalar loop, so the
+        ``ub <= θ_T`` decisions, the counters (``ub_triangle_wins``,
+        ``theta_evaluations``) and the returned values all match.
+        """
+        if self._array_scoring and len(others) >= _ARRAY_ROW_MIN:
+            dists_v = np.fromiter(
+                (o.distance for o in others), np.float64, len(others)
+            )
+            ubs = self._objective.theta_batch(
+                item.distance, dists_v, item.distance + dists_v
+            )
+            self.ub_triangle_wins += len(others)
+            return {
+                other.object.object_id: (
+                    ub if ub <= theta_t_now else self._theta(item, other)
+                )
+                for other, ub in zip(others, ubs.tolist())
+            }
+        out: Dict[int, float] = {}
+        for other in others:
+            ub = self._theta_upper_bound(item, other)
+            out[other.object.object_id] = (
+                ub if ub <= theta_t_now else self._theta(item, other)
+            )
+        return out
+
     def bootstrap(self, items: List[ResultItem]) -> None:
         """Initialise CP on the first arrivals with the greedy algorithm."""
         if self._pairs or self._arrived:
@@ -211,12 +267,8 @@ class CorePairMaintainer:
         # membership requires θ > θ_T, and the visited-object pruning
         # test only asks whether θ stays below θ_T).
         theta_t_now = self.theta_t
-        thetas: Dict[int, float] = {}
-        for other in others:
-            ub = self._theta_upper_bound(item, other)
-            t = ub if ub <= theta_t_now else self._theta(item, other)
-            other_id = other.object.object_id
-            thetas[other_id] = t
+        thetas = self._theta_row(item, others, theta_t_now)
+        for other_id, t in thetas.items():
             if t > self._best_theta.get(other_id, float("-inf")):
                 self._best_theta[other_id] = t
         if thetas:
@@ -235,15 +287,12 @@ class CorePairMaintainer:
             # self._requeued; fetch and continue the cascade.
             current = self._requeued
             theta_t_now = self.theta_t
-            current_thetas = {}
-            for other in self._arrived.values():
-                other_id = other.object.object_id
-                if other_id == current.object.object_id:
-                    continue
-                ub = self._theta_upper_bound(current, other)
-                current_thetas[other_id] = (
-                    ub if ub <= theta_t_now else self._theta(current, other)
-                )
+            opponents = [
+                other
+                for other in self._arrived.values()
+                if other.object.object_id != current.object.object_id
+            ]
+            current_thetas = self._theta_row(current, opponents, theta_t_now)
 
     _requeued: ResultItem
 

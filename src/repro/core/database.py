@@ -32,8 +32,11 @@ from ..index.sif_g import SIFGIndex
 from ..index.sif_p import SIFPIndex
 from ..network.ccam import CCAMStore
 from ..network.ch import ContractionHierarchy
+from ..network.csr import CSRGraph
 from ..network.distance import DISTANCE_BACKENDS, DistanceBackend, DistanceCache
 from ..network.graph import NetworkPosition, RoadNetwork
+from ..network.hub_labels import HubLabelBackend
+from ..nplib import HAVE_NUMPY, require_numpy
 from ..obs.metrics import MetricsRegistry
 from ..obs.slowlog import SlowQueryLog, SlowQueryThreshold
 from ..obs.tracing import NULL_TRACER, TraceCollector, Tracer
@@ -44,6 +47,7 @@ from ..spatial.rtree import RTree
 from ..spatial.zorder import ZOrderCurve
 from ..storage.pagefile import DiskManager
 from .knn import SKkNNQuery
+from .objective import SCORING_MODES
 from .queries import DiversifiedResult, DiversifiedSKQuery, QueryStats, SKQuery, SKResult
 from .updates import UpdateJournal, UpdateRecord
 
@@ -87,9 +91,11 @@ class Database:
 
         ``distance_backend`` selects how diversified queries evaluate
         exact pairwise network distances: ``"dijkstra"`` (the default —
-        bounded Dijkstras, unchanged behaviour) or ``"ch"`` (the
-        Contraction-Hierarchies oracle, built lazily on first use; see
-        :meth:`use_distance_backend`).
+        bounded Dijkstras, unchanged behaviour), ``"ch"`` (the
+        Contraction-Hierarchies oracle) or ``"hub"`` (2-hop hub labels
+        on top of the CH ordering; the fastest many-to-many kernel).
+        Oracles are built lazily on first use; see
+        :meth:`use_distance_backend`.
         """
         self.network = network
         self.curve = curve or ZOrderCurve()
@@ -107,8 +113,14 @@ class Database:
         #: (see :meth:`use_shared_distance_cache`).
         self.distance_cache: Optional[DistanceCache] = None
         self._ch_oracle: Optional[ContractionHierarchy] = None
+        self._hub_oracle: Optional[HubLabelBackend] = None
+        self._csr_graph: Optional[CSRGraph] = None
         self.distance_backend = "dijkstra"
         self.use_distance_backend(distance_backend)
+        #: How diversified queries evaluate relevance/diversity scoring
+        #: (see :meth:`use_scoring_mode`).  Array mode is the default
+        #: whenever numpy is importable; the answers are identical.
+        self.scoring_mode = "array" if HAVE_NUMPY else "scalar"
         self.disk = DiskManager(buffer_pages=buffer_pages or 1 << 30)
         self._explicit_buffer = buffer_pages
         self._buffer_fraction = buffer_fraction
@@ -287,6 +299,13 @@ class Database:
             # "Dynamic updates" records the trade-off.
             self._ch_oracle = None
             self.metrics.inc("ch.invalidations")
+        if self._hub_oracle is not None:
+            # Hub labels inherit the CH's correctness argument, so they
+            # inherit its invalidation policy too: drop, rebuild lazily.
+            self._hub_oracle = None
+            self.metrics.inc("hub_label.invalidations")
+        # The CSR snapshot bakes in edge weights; same drop-and-rebuild.
+        self._csr_graph = None
         ratio = weight / old.length
         if (
             self._min_weight_per_length is not None
@@ -474,14 +493,18 @@ class Database:
     # Distance backends
     # ------------------------------------------------------------------
     def use_distance_backend(self, name: str) -> None:
-        """Select the pairwise distance backend: ``dijkstra`` or ``ch``.
+        """Select the pairwise backend: ``dijkstra``, ``ch`` or ``hub``.
 
         ``dijkstra`` keeps the historical bounded-Dijkstra evaluation.
         ``ch`` routes pairwise evaluations through the
         Contraction-Hierarchies oracle — identical answers, far fewer
-        settled nodes.  The oracle is built lazily on the first query
-        that needs it (or eagerly via :meth:`ch_oracle`); switching
-        back and forth costs nothing once built.
+        settled nodes.  ``hub`` precomputes 2-hop hub labels from the
+        CH ordering: point queries become sorted label merges and the
+        candidate×candidate matrices SEQ needs run through one batched
+        label-join kernel (requires numpy).  Oracles are built lazily
+        on the first query that needs them (or eagerly via
+        :meth:`ch_oracle` / :meth:`hub_oracle`); switching back and
+        forth costs nothing once built.
         """
         name = name.lower()
         if name not in DISTANCE_BACKENDS:
@@ -512,11 +535,68 @@ class Database:
             self._ch_oracle = oracle
         return self._ch_oracle
 
+    def hub_oracle(self) -> HubLabelBackend:
+        """The database's hub-label oracle (built once, needs numpy).
+
+        The labels are the CH's upward search spaces, so construction
+        reuses (or triggers) :meth:`ch_oracle` and then pays one upward
+        sweep per node.  Records ``hub_label.build_seconds`` /
+        ``hub_label.labels`` / ``hub_label.label_entries`` and emits a
+        ``hub_build`` record.  Immutable and shared by all queries; an
+        edge reweight drops it for lazy rebuild.
+        """
+        if self._hub_oracle is None:
+            require_numpy("the hub-label distance backend")
+            oracle = HubLabelBackend(self.network, ch=self.ch_oracle())
+            self.metrics.observe(
+                "hub_label.build_seconds", oracle.build_seconds
+            )
+            self.metrics.inc("hub_label.labels", oracle.num_labels)
+            self.metrics.inc("hub_label.label_entries", oracle.label_entries)
+            self.metrics.emit({"type": "hub_build", **oracle.stats()})
+            self._hub_oracle = oracle
+        return self._hub_oracle
+
+    def csr_graph(self) -> CSRGraph:
+        """The network's CSR array snapshot (built once, needs numpy).
+
+        Traversal entry points accept it anywhere they accept the
+        network (the shared seam in :mod:`repro.network.distance`
+        dispatches to the array Dijkstra kernel).  Validated against
+        the live network on first build; dropped on every edge
+        reweight, like the distance oracles.
+        """
+        if self._csr_graph is None:
+            csr = CSRGraph.from_network(self.network, store=self.store)
+            csr.validate_roundtrip(self.network, store=self.store)
+            self._csr_graph = csr
+        return self._csr_graph
+
+    def use_scoring_mode(self, name: str) -> None:
+        """Select scoring evaluation: ``"array"`` (numpy) or ``"scalar"``.
+
+        Array mode batches the greedy θ matrix (SEQ) and the core-pair
+        θ-bound rows (COM) through numpy; every answer, ordering and
+        counter is identical to scalar mode — this switches evaluation
+        strategy, not semantics.
+        """
+        name = name.lower()
+        if name not in SCORING_MODES:
+            raise QueryError(
+                f"unknown scoring mode {name!r}; "
+                f"expected one of {SCORING_MODES}"
+            )
+        if name == "array":
+            require_numpy("array scoring")
+        self.scoring_mode = name
+
     def pairwise_backend(self) -> Optional[DistanceBackend]:
         """The backend queries should hand to their pairwise computer
         (``None`` means the default bounded-Dijkstra path)."""
         if self.distance_backend == "ch":
             return self.ch_oracle()
+        if self.distance_backend == "hub":
+            return self.hub_oracle()
         return None
 
     # ------------------------------------------------------------------
@@ -770,6 +850,10 @@ class Database:
             m.inc("ch.queries", stats.backend_queries)
             m.inc("ch.settled_nodes", stats.backend_settled_nodes)
             m.inc("ch.bucket_hits", stats.backend_bucket_hits)
+        elif stats.distance_backend == "hub":
+            m.inc("hub_label.queries", stats.backend_queries)
+            m.inc("hub_label.entries_scanned", stats.backend_settled_nodes)
+            m.inc("hub_label.kernel_hits", stats.backend_bucket_hits)
         if kind.startswith("diversified"):
             # COM's §4.3 early termination is the pruning the paper's
             # diversified-search figures measure; counting it (and the

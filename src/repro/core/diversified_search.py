@@ -36,6 +36,7 @@ from typing import Callable, List, Optional
 from ..index.base import ObjectIndex
 from ..network.distance import AdjacencyProvider, PairwiseDistanceComputer
 from ..network.graph import RoadNetwork
+from ..nplib import HAVE_NUMPY, np
 from ..obs.metrics import StageClock
 from ..obs.tracing import NULL_TRACER
 from .core_pairs import CorePairMaintainer
@@ -54,6 +55,42 @@ def _make_pair_distance(
         return computer.distance(a.object.position, b.object.position)
 
     return pair_distance
+
+
+def _make_pair_matrix_builder(computer: PairwiseDistanceComputer):
+    """Builds the symmetric pair-distance matrix for the array greedy.
+
+    A backend with an array kernel (hub labels) hands the whole matrix
+    over with no per-pair Python at all.  Otherwise
+    ``computer.pairwise`` resolves pairs in the same lexicographic
+    ``(i, j)`` order the scalar greedy's lazy θ cache would, so the
+    per-query Dijkstra counters come out identical either way.
+    """
+
+    def build(pool) -> "np.ndarray":
+        positions = [it.object.position for it in pool]
+        matrix = computer.pairwise_matrix(positions)
+        if matrix is None:
+            pairs = computer.pairwise(positions)
+            n = len(pool)
+            matrix = np.zeros((n, n))
+            for (i, j), d in pairs.items():
+                matrix[i, j] = matrix[j, i] = d
+        # Finalisation re-reads a handful of these distances; keep the
+        # matrix so they resolve without further backend point queries.
+        build.captured["matrix"] = matrix
+        build.captured["row_of"] = {
+            it.object.object_id: i for i, it in enumerate(pool)
+        }
+        return matrix
+
+    build.captured = {}
+    return build
+
+
+def _resolve_array_scoring(array_scoring: Optional[bool]) -> bool:
+    """``None`` means "array if numpy is importable" (the default)."""
+    return HAVE_NUMPY if array_scoring is None else bool(array_scoring)
 
 
 class _ComputerDelta:
@@ -112,11 +149,25 @@ def _finalise(
     computer: PairwiseDistanceComputer,
     method: str,
     stats: QueryStats,
+    captured: Optional[dict] = None,
 ) -> DiversifiedResult:
     dists = [it.distance for it in items]
+    matrix = captured.get("matrix") if captured else None
+    row_of = captured.get("row_of") if captured else None
+    if matrix is not None and all(
+        it.object.object_id in row_of for it in items
+    ):
+        rows = [row_of[it.object.object_id] for it in items]
 
-    def pd(i: int, j: int) -> float:
-        return computer.distance(items[i].object.position, items[j].object.position)
+        def pd(i: int, j: int) -> float:
+            return float(matrix[rows[i], rows[j]])
+
+    else:
+
+        def pd(i: int, j: int) -> float:
+            return computer.distance(
+                items[i].object.position, items[j].object.position
+            )
 
     value = objective.objective(dists, pd)
     return DiversifiedResult(items, value, method, stats)
@@ -129,8 +180,17 @@ def seq_search(
     query: DiversifiedSKQuery,
     pairwise: Optional[PairwiseDistanceComputer] = None,
     tracer=NULL_TRACER,
+    array_scoring: Optional[bool] = None,
 ) -> DiversifiedResult:
-    """The straightforward SEQ implementation (paper §4.1)."""
+    """The straightforward SEQ implementation (paper §4.1).
+
+    ``array_scoring`` switches the greedy stage to the vectorized
+    θ-matrix path (``None``: use it whenever numpy is available).
+    Selections, ordering and per-query Dijkstra counts are identical
+    to the scalar path — only the evaluation strategy changes (a
+    backend array kernel serves the pair matrix in one call instead of
+    through the per-pair cache, so cache-hit bookkeeping may differ).
+    """
     start = time.perf_counter()
     clock = StageClock()
     expansion = INEExpansion(
@@ -145,16 +205,35 @@ def seq_search(
 
     with clock.stage("expansion"):
         candidates = expansion.run_to_completion()
-    if computer.backend is not None and len(candidates) > 1:
+    matrix_builder = (
+        _make_pair_matrix_builder(computer)
+        if _resolve_array_scoring(array_scoring)
+        else None
+    )
+    array_kernel = (
+        matrix_builder is not None
+        and getattr(computer.backend, "position_matrix_array", None)
+        is not None
+        and len(candidates) > query.k
+    )
+    if (
+        computer.backend is not None
+        and len(candidates) > 1
+        and not array_kernel
+    ):
         # A CH-style backend answers the whole candidate×candidate
         # matrix with its many-to-many kernel in one go; the greedy
         # picker then hits the warm pair cache instead of issuing
-        # point queries.
+        # point queries.  When the array greedy will pull the matrix
+        # straight from an array kernel (hub labels) the dict-shaped
+        # prefetch is skipped — the few finalisation distances resolve
+        # as cheap point label merges.
         computer.prefetch([c.object.position for c in candidates])
     greedy_t0 = time.perf_counter()
     with clock.stage("greedy"):
         chosen = greedy_diversify(
-            candidates, query.k, objective, _make_pair_distance(computer)
+            candidates, query.k, objective, _make_pair_distance(computer),
+            pair_matrix_builder=matrix_builder,
         )
     if tracer.enabled:
         tracer.add_span(
@@ -168,7 +247,10 @@ def seq_search(
         candidates=len(candidates),
     )
     with clock.stage("finalise"):
-        result = _finalise(chosen, objective, computer, "SEQ", stats)
+        result = _finalise(
+            chosen, objective, computer, "SEQ", stats,
+            captured=getattr(matrix_builder, "captured", None),
+        )
     delta.apply(stats)
     clock.add("object_loading", expansion.stats.load_seconds)
     clock.add("pairwise_dijkstra", delta.pairwise_seconds)
@@ -186,6 +268,7 @@ def com_search(
     enable_pruning: bool = True,
     landmarks=None,
     tracer=NULL_TRACER,
+    array_scoring: Optional[bool] = None,
 ) -> DiversifiedResult:
     """Algorithm 6: incremental diversified SK search.
 
@@ -197,6 +280,11 @@ def com_search(
     :class:`repro.network.landmarks.LandmarkIndex`; its exact distance
     upper bounds tighten the θ-skip and avoid further pairwise
     Dijkstras without changing any answer (ablation A4).
+
+    ``array_scoring`` batches the core-pair maintainer's θ-bound rows
+    through numpy (``None``: whenever numpy is available); answers and
+    counters are unchanged.  Landmark bounds take precedence — with
+    ``landmarks`` installed the maintainer stays on the scalar rows.
 
     When ``tracer`` is enabled, every arrival that reaches the pruning
     decision records a ``com.round`` span (γ, θ_T, the unvisited-pair
@@ -224,6 +312,7 @@ def com_search(
         _make_pair_distance(computer),
         pair_distance_upper_bound=pair_ub,
         tracer=tracer,
+        array_scoring=_resolve_array_scoring(array_scoring),
     )
     tracing = tracer.enabled
 

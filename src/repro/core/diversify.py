@@ -5,18 +5,69 @@ Gollapudi & Sharma repeatedly picks the remaining pair with the largest
 diversification distance θ and achieves a 2-approximation.  It assumes
 the candidate objects and their pairwise distances are available — the
 SEQ baseline feeds it everything Algorithm 3 returns.
+
+Two evaluation paths produce **identical selections**:
+
+* the historical scalar path (lazy per-pair θ cache, pure Python);
+* the array path: the caller supplies ``pair_matrix_builder`` and the
+  whole θ matrix is evaluated at once
+  (:meth:`~repro.core.objective.DiversificationObjective.theta_matrix`),
+  each greedy round reduced by one masked ``argmax``.
+
+Bit-identical tie-breaking: the scalar loop walks pairs ``(i, j)`` of
+the distance-sorted pool in lexicographic order keeping the first
+strict maximum; ``argmax`` over the masked upper triangle in row-major
+order *is* that first maximum, and the matrix θ values are computed
+with the same IEEE operations as the scalar ones.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..nplib import np
 from .objective import DiversificationObjective
 from .queries import ResultItem
 
 __all__ = ["greedy_diversify"]
 
 PairDistance = Callable[[ResultItem, ResultItem], float]
+#: Called with the distance-sorted pool; returns the n×n symmetric
+#: pair-distance matrix aligned to it (numpy array).
+PairMatrixBuilder = Callable[[Sequence[ResultItem]], "object"]
+
+
+def _greedy_from_matrix(
+    pool: List[ResultItem],
+    k: int,
+    objective: DiversificationObjective,
+    pair_matrix_builder: PairMatrixBuilder,
+) -> List[ResultItem]:
+    n = len(pool)
+    pair_matrix = pair_matrix_builder(pool)
+    dists = np.fromiter((it.distance for it in pool), np.float64, n)
+    theta = objective.theta_matrix(dists, pair_matrix)
+    upper = np.triu(np.ones((n, n), dtype=bool), k=1)
+    alive = np.ones(n, dtype=bool)
+    chosen: List[int] = []
+    for _ in range(k // 2):
+        mask = upper & alive[:, None] & alive[None, :]
+        if not mask.any():
+            break
+        masked = np.where(mask, theta, -np.inf)
+        flat = int(masked.argmax())  # first max in row-major order ==
+        i, j = divmod(flat, n)       # lexicographically-first strict max
+        chosen.extend((i, j))
+        alive[i] = alive[j] = False
+        if int(alive.sum()) < 2:
+            break
+    if len(chosen) < k and alive.any():
+        # Odd k (or an exhausted pool): add the closest remaining
+        # object — the lowest alive index, since the pool is sorted.
+        chosen.append(int(np.flatnonzero(alive)[0]))
+    result = [pool[i] for i in chosen[:k]]
+    result.sort(key=lambda it: (it.distance, it.object.object_id))
+    return result
 
 
 def greedy_diversify(
@@ -24,6 +75,7 @@ def greedy_diversify(
     k: int,
     objective: DiversificationObjective,
     pair_distance: PairDistance,
+    pair_matrix_builder: Optional[PairMatrixBuilder] = None,
 ) -> List[ResultItem]:
     """Select ``k`` diversified objects from ``candidates``.
 
@@ -32,12 +84,17 @@ def greedy_diversify(
     is appended (the paper picks arbitrarily; we take the closest
     remaining object for determinism).  Fewer than ``k`` candidates are
     returned as-is, ordered by distance.
+
+    ``pair_matrix_builder`` (with numpy available) switches the rounds
+    to the vectorized matrix path — same selections, same order.
     """
     if k <= 0:
         return []
     pool = sorted(candidates, key=lambda it: (it.distance, it.object.object_id))
     if len(pool) <= k:
         return pool
+    if pair_matrix_builder is not None and np is not None:
+        return _greedy_from_matrix(pool, k, objective, pair_matrix_builder)
 
     theta_cache: Dict[Tuple[int, int], float] = {}
 

@@ -22,8 +22,15 @@ from itertools import combinations
 from typing import Callable, Sequence
 
 from ..errors import QueryError
+from ..nplib import np, require_numpy
 
-__all__ = ["DiversificationObjective"]
+__all__ = ["DiversificationObjective", "SCORING_MODES"]
+
+#: How the engine evaluates relevance/diversity scoring: ``"array"``
+#: batches whole candidate matrices through numpy (bit-identical
+#: arithmetic, same tie-breaking); ``"scalar"`` keeps the historical
+#: object-at-a-time loops.
+SCORING_MODES = ("array", "scalar")
 
 
 @dataclass(frozen=True)
@@ -83,6 +90,48 @@ class DiversificationObjective:
                 dists_to_query[i], dists_to_query[j], pair_distance(i, j)
             )
         return 2.0 * total / (k * (k - 1))
+
+    # ------------------------------------------------------------------
+    # Vectorized components (array scoring mode)
+    # ------------------------------------------------------------------
+    # Each *_array method performs the exact same IEEE-754 operations
+    # as its scalar twin, in the same order, element-wise — so a theta
+    # computed through the matrix path is bit-identical to the scalar
+    # one and every downstream comparison (greedy tie-breaking, COM's
+    # ub-vs-θ_T decisions) resolves the same way.
+
+    def relevance_array(self, dists_to_query):
+        """Vectorized :meth:`relevance` over an array of distances."""
+        require_numpy("array scoring")
+        return np.clip(1.0 - dists_to_query / self.delta_max, 0.0, 1.0)
+
+    def diversity_array(self, pair_distances):
+        """Vectorized :meth:`diversity` over an array of pair distances."""
+        require_numpy("array scoring")
+        return np.clip(
+            pair_distances / (2.0 * self.delta_max), 0.0, 1.0
+        )
+
+    def theta_batch(self, dist_u: float, dists_v, pair_distances):
+        """θ of one object against a batch: ``θ(u, v_i)`` for all i."""
+        rel = (self.relevance(dist_u) + self.relevance_array(dists_v)) / 2.0
+        return self.lambda_ * rel + (
+            1.0 - self.lambda_
+        ) * self.diversity_array(pair_distances)
+
+    def theta_matrix(self, dists_to_query, pair_matrix):
+        """The full θ matrix over a candidate pool.
+
+        ``dists_to_query`` is a length-n array of per-object distances,
+        ``pair_matrix`` the n×n symmetric pair-distance matrix; returns
+        the n×n θ matrix (diagonal included but meaningless — greedy
+        only reads the strict upper triangle).
+        """
+        rel = self.relevance_array(dists_to_query)
+        rel_pair = (rel[:, None] + rel[None, :]) / 2.0
+        return self.lambda_ * rel_pair + (
+            1.0 - self.lambda_
+        ) * self.diversity_array(pair_matrix)
 
     # ------------------------------------------------------------------
     # §4.3 pruning bounds

@@ -216,10 +216,12 @@ class QueryEngine:
             delta_max=query.delta_max, k=query.k,
             lambda_=query.lambda_, backend=pairwise.backend_name,
         ) as root:
+            array_scoring = db.scoring_mode == "array"
             if plan.algorithm == "seq":
                 result = seq_search(
                     db.ccam, db.network, plan.index, query,
                     pairwise=pairwise, tracer=t,
+                    array_scoring=array_scoring,
                 )
             else:
                 result = com_search(
@@ -228,6 +230,7 @@ class QueryEngine:
                     enable_pruning=plan.enable_pruning,
                     landmarks=plan.landmarks,
                     tracer=t,
+                    array_scoring=array_scoring,
                 )
             if t.enabled:
                 ctx.trace_signature_summary(len(result))

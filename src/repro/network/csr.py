@@ -1,0 +1,288 @@
+"""CSR (compressed-sparse-row) array representation of a road network.
+
+:class:`~repro.network.graph.RoadNetwork` stores adjacency as Python
+dicts of tuples — ideal for incremental construction and dynamic
+updates, hostile to tight traversal loops.  :class:`CSRGraph` is the
+array-native view: three contiguous numpy arrays (``indptr``,
+``indices``, ``weights``) plus a node-id ↔ row-index mapping, built
+once from a frozen network.
+
+Layout (n nodes, m undirected edges → 2m directed entries)::
+
+    indptr   int64[n + 1]   row r's entries live in [indptr[r], indptr[r+1])
+    indices  int64[2m]      target *row* of each entry
+    weights  float64[2m]    traversal cost of each entry
+    edge_ids int64[2m]      originating edge id (round-trip validation)
+
+Rows are assigned in ascending node-id order, so ordering by row index
+is ordering by node id — heap ties in the array Dijkstra break exactly
+like the dict kernel's ``(distance, node_id)`` ties, which keeps the
+two kernels' settle order (and therefore every downstream answer,
+including landmark selection) identical.
+
+A ``CSRGraph`` is also an
+:class:`~repro.network.distance.AdjacencyProvider` (it implements
+``neighbors``), so it drops into any traversal entry point; the shared
+seam in :mod:`repro.network.distance` dispatches to the array kernel
+when it sees one.  Instances are immutable snapshots: an edge reweight
+on the source network silently invalidates them, which is why
+:meth:`repro.core.database.Database.csr_graph` drops its cached
+instance on every reweight (same lazy-rebuild policy as the CH and
+hub-label oracles).
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..errors import GraphError
+from ..nplib import np, require_numpy
+from .graph import RoadNetwork
+
+__all__ = ["CSRGraph"]
+
+INF = math.inf
+
+
+class CSRGraph:
+    """Immutable flat-array snapshot of a :class:`RoadNetwork`.
+
+    Build with :meth:`from_network`.  ``store`` optionally folds the
+    object store in: per-entry arrays of object ids, their edge ids and
+    on-edge offsets (in weight units), so array consumers can reason
+    about object placement without touching Python objects — and so
+    the round-trip validator can prove offsets survived the trip.
+    """
+
+    def __init__(
+        self,
+        node_ids,
+        indptr,
+        indices,
+        weights,
+        edge_ids,
+        object_ids=None,
+        object_edge_ids=None,
+        object_offsets=None,
+    ) -> None:
+        require_numpy("the CSR graph representation")
+        self.node_ids = node_ids
+        self.indptr = indptr
+        self.indices = indices
+        self.weights = weights
+        self.edge_ids = edge_ids
+        #: row index of every node id (inverse of ``node_ids``)
+        self.row_of: Dict[int, int] = {
+            int(nid): r for r, nid in enumerate(node_ids)
+        }
+        #: node id of each adjacency entry's target (``node_ids[indices]``)
+        self.indices_node_ids = node_ids[indices]
+        self.object_ids = object_ids
+        self.object_edge_ids = object_edge_ids
+        self.object_offsets = object_offsets
+
+    # ------------------------------------------------------------------
+    # Construction & validation
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_network(
+        cls, network: RoadNetwork, store=None
+    ) -> "CSRGraph":
+        """Snapshot ``network`` (and optionally ``store``) into arrays."""
+        require_numpy("the CSR graph representation")
+        node_ids_list = sorted(n.node_id for n in network.nodes())
+        row_of = {nid: r for r, nid in enumerate(node_ids_list)}
+        n = len(node_ids_list)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        indices: List[int] = []
+        weights: List[float] = []
+        edge_ids: List[int] = []
+        for r, nid in enumerate(node_ids_list):
+            for edge_id, other, weight in network.neighbors(nid):
+                indices.append(row_of[other])
+                weights.append(weight)
+                edge_ids.append(edge_id)
+            indptr[r + 1] = len(indices)
+        obj_ids = obj_edges = obj_offsets = None
+        if store is not None:
+            objs = sorted(store, key=lambda o: o.object_id)
+            obj_ids = np.fromiter(
+                (o.object_id for o in objs), np.int64, len(objs)
+            )
+            obj_edges = np.fromiter(
+                (o.position.edge_id for o in objs), np.int64, len(objs)
+            )
+            obj_offsets = np.fromiter(
+                (o.position.offset for o in objs), np.float64, len(objs)
+            )
+        return cls(
+            np.asarray(node_ids_list, dtype=np.int64),
+            indptr,
+            np.asarray(indices, dtype=np.int64),
+            np.asarray(weights, dtype=np.float64),
+            np.asarray(edge_ids, dtype=np.int64),
+            obj_ids,
+            obj_edges,
+            obj_offsets,
+        )
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.node_ids)
+
+    @property
+    def num_entries(self) -> int:
+        return len(self.indices)
+
+    def neighbors(self, node_id: int) -> List[Tuple[int, int, float]]:
+        """AdjacencyProvider protocol: ``(edge_id, other, weight)``."""
+        r = self.row_of[node_id]
+        s, e = int(self.indptr[r]), int(self.indptr[r + 1])
+        return list(zip(
+            self.edge_ids[s:e].tolist(),
+            self.indices_node_ids[s:e].tolist(),
+            self.weights[s:e].tolist(),
+        ))
+
+    def validate_roundtrip(self, network: RoadNetwork, store=None) -> None:
+        """Prove this CSR is a faithful snapshot of ``network``.
+
+        Checks the node mapping is a bijection onto the network's node
+        set, that every adjacency entry round-trips (same edge id,
+        target and weight, both directions), that structural defects a
+        :class:`RoadNetwork` cannot legally contain (self-loops,
+        parallel edges) did not sneak in, and — with ``store`` — that
+        on-edge object offsets agree entry for entry.  Raises
+        :class:`~repro.errors.GraphError` on the first mismatch.
+        """
+        net_nodes = sorted(n.node_id for n in network.nodes())
+        if self.node_ids.tolist() != net_nodes:
+            raise GraphError("CSR node mapping does not match the network")
+        if int(self.indptr[-1]) != len(self.indices):
+            raise GraphError("CSR indptr does not cover the entry arrays")
+        for r, nid in enumerate(net_nodes):
+            s, e = int(self.indptr[r]), int(self.indptr[r + 1])
+            entries = sorted(zip(
+                self.edge_ids[s:e].tolist(),
+                self.indices_node_ids[s:e].tolist(),
+                self.weights[s:e].tolist(),
+            ))
+            expected = sorted(network.neighbors(nid))
+            if len(entries) != len(expected):
+                raise GraphError(f"CSR degree mismatch at node {nid}")
+            seen_targets = set()
+            for (eid, other, w), (x_eid, x_other, x_w) in zip(
+                entries, expected
+            ):
+                if eid != x_eid or other != x_other:
+                    raise GraphError(
+                        f"CSR adjacency mismatch at node {nid}: "
+                        f"({eid}, {other}) != ({x_eid}, {x_other})"
+                    )
+                if abs(w - x_w) > 1e-9:
+                    raise GraphError(
+                        f"CSR weight drift on edge {eid}: {w} != {x_w}"
+                    )
+                if other == nid:
+                    raise GraphError(
+                        f"CSR self-loop entry at node {nid} (edge {eid})"
+                    )
+                if other in seen_targets:
+                    raise GraphError(
+                        f"CSR parallel edges {nid} → {other}"
+                    )
+                seen_targets.add(other)
+        if store is not None:
+            if (
+                self.object_ids is None
+                or self.object_edge_ids is None
+                or self.object_offsets is None
+            ):
+                raise GraphError("CSR was built without object arrays")
+            objs = sorted(store, key=lambda o: o.object_id)
+            if self.object_ids.tolist() != [o.object_id for o in objs]:
+                raise GraphError("CSR object-id mapping mismatch")
+            for i, obj in enumerate(objs):
+                if int(self.object_edge_ids[i]) != obj.position.edge_id:
+                    raise GraphError(
+                        f"CSR object {obj.object_id} edge mismatch"
+                    )
+                if abs(
+                    float(self.object_offsets[i]) - obj.position.offset
+                ) > 1e-9:
+                    raise GraphError(
+                        f"CSR object {obj.object_id} offset drift"
+                    )
+
+    # ------------------------------------------------------------------
+    # Array-heap Dijkstra
+    # ------------------------------------------------------------------
+    def seeded_distances(
+        self,
+        seeds: Dict[int, float],
+        cutoff: float = INF,
+        *,
+        ignore: Optional[int] = None,
+        targets: Optional[Iterable[int]] = None,
+        max_settled: Optional[int] = None,
+    ) -> Dict[int, float]:
+        """Bounded Dijkstra from ``(node_id → cost)`` seeds, over arrays.
+
+        The array kernel behind the shared traversal seam
+        (:mod:`repro.network.distance`): same contract as the dict
+        kernel — only *settled* nodes appear in the result, seeds above
+        ``cutoff`` never enter, ``ignore`` skips one node entirely,
+        ``targets`` stops once all settled, ``max_settled`` caps the
+        search.  The returned dict lists nodes in settle order, exactly
+        like the dict kernel, so consumers that iterate it (landmark
+        selection) see identical tie-breaking.
+        """
+        indptr, indices, weights = self.indptr, self.indices, self.weights
+        row_of = self.row_of
+        n = self.num_nodes
+        best = np.full(n, INF)
+        settled = np.zeros(n, dtype=bool)
+        ignore_row = -1 if ignore is None else row_of.get(ignore, -1)
+        heap: List[Tuple[float, int]] = []
+        for node_id, d in seeds.items():
+            r = row_of[node_id]
+            if d <= cutoff and d < best[r]:
+                best[r] = d
+        for r in np.flatnonzero(np.isfinite(best)).tolist():
+            heapq.heappush(heap, (float(best[r]), r))
+        remaining = (
+            {row_of[t] for t in targets if t in row_of}
+            if targets is not None else None
+        )
+        order: List[Tuple[int, float]] = []
+        while heap:
+            d, r = heapq.heappop(heap)
+            if settled[r]:
+                continue
+            settled[r] = True
+            order.append((r, d))
+            if remaining is not None:
+                remaining.discard(r)
+                if not remaining:
+                    break
+            if max_settled is not None and len(order) >= max_settled:
+                break
+            s, e = indptr[r], indptr[r + 1]
+            nbr = indices[s:e]
+            nd = d + weights[s:e]
+            mask = (nd <= cutoff) & ~settled[nbr] & (nd < best[nbr])
+            if ignore_row >= 0:
+                mask &= nbr != ignore_row
+            for other, ndv in zip(nbr[mask].tolist(), nd[mask].tolist()):
+                best[other] = ndv
+                heapq.heappush(heap, (ndv, other))
+        node_ids = self.node_ids
+        return {int(node_ids[r]): d for r, d in order}
+
+    def __repr__(self) -> str:  # pragma: no cover — debugging aid
+        return (
+            f"CSRGraph(nodes={self.num_nodes}, "
+            f"entries={self.num_entries})"
+        )

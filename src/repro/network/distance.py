@@ -15,9 +15,10 @@ import math
 import threading
 import time
 from collections import OrderedDict
-from typing import Dict, Iterable, Optional, Protocol, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Protocol, Sequence, Tuple
 
 from ..obs.tracing import NULL_TRACER
+from .csr import CSRGraph
 from .graph import NetworkPosition, RoadNetwork
 
 __all__ = [
@@ -26,6 +27,7 @@ __all__ = [
     "BackendCounters",
     "DISTANCE_BACKENDS",
     "seed_distances",
+    "seeded_distances",
     "node_source_distances",
     "single_source_distances",
     "position_distance_from_node_map",
@@ -39,8 +41,10 @@ INF = math.inf
 #: Backend names accepted wherever a distance backend is selected
 #: (``Database``, the CLI's ``--distance-backend``).  ``dijkstra`` is
 #: the default bounded-Dijkstra path; ``ch`` is the
-#: Contraction-Hierarchies oracle (:mod:`repro.network.ch`).
-DISTANCE_BACKENDS = ("dijkstra", "ch")
+#: Contraction-Hierarchies oracle (:mod:`repro.network.ch`); ``hub``
+#: is the 2-hop hub-label oracle built on the CH ordering
+#: (:mod:`repro.network.hub_labels`, requires numpy).
+DISTANCE_BACKENDS = ("dijkstra", "ch", "hub")
 
 
 class AdjacencyProvider(Protocol):
@@ -122,28 +126,39 @@ def seed_distances(
     return {edge.n1: pos.offset, edge.n2: edge.weight - pos.offset}
 
 
-def node_source_distances(
+def seeded_distances(
     provider: AdjacencyProvider,
-    source_node: int,
+    seeds: Dict[int, float],
     cutoff: float = INF,
     *,
     ignore: Optional[int] = None,
     targets: Optional[Iterable[int]] = None,
     max_settled: Optional[int] = None,
 ) -> Dict[int, float]:
-    """Bounded Dijkstra from a *node* through an adjacency provider.
+    """The shared traversal seam: bounded Dijkstra from (node → cost)
+    seeds, through *either* graph representation.
 
-    The shared node-source kernel: landmark pre-computation runs it to
-    exhaustion, Contraction-Hierarchies preprocessing runs it as a
-    *witness search* (``ignore`` skips the node being contracted,
-    ``targets`` stops once every target settled, ``max_settled`` caps
-    the search).  Tentative distances are tracked so a node is pushed
-    at most once per improvement — dominated heap entries are never
-    enqueued.
+    A :class:`~repro.network.csr.CSRGraph` provider dispatches to its
+    array-heap kernel; every other :class:`AdjacencyProvider` runs the
+    dict kernel below.  Both kernels settle the same nodes in the same
+    order (rows are assigned in node-id order, so heap ties break
+    identically) and honour the same contract: only settled nodes
+    appear in the result, seeds above ``cutoff`` never enter,
+    ``ignore`` skips one node, ``targets`` stops once all settled,
+    ``max_settled`` caps the search.
     """
+    if isinstance(provider, CSRGraph):
+        return provider.seeded_distances(
+            seeds, cutoff,
+            ignore=ignore, targets=targets, max_settled=max_settled,
+        )
     dist: Dict[int, float] = {}
-    best: Dict[int, float] = {source_node: 0.0}
-    heap: list = [(0.0, source_node)]
+    best: Dict[int, float] = {}
+    for node_id, d in seeds.items():
+        if d <= cutoff and d < best.get(node_id, INF):
+            best[node_id] = d
+    heap: list = [(d, node_id) for node_id, d in best.items()]
+    heapq.heapify(heap)
     remaining = set(targets) if targets is not None else None
     while heap:
         d, node = heapq.heappop(heap)
@@ -166,6 +181,29 @@ def node_source_distances(
     return dist
 
 
+def node_source_distances(
+    provider: AdjacencyProvider,
+    source_node: int,
+    cutoff: float = INF,
+    *,
+    ignore: Optional[int] = None,
+    targets: Optional[Iterable[int]] = None,
+    max_settled: Optional[int] = None,
+) -> Dict[int, float]:
+    """Bounded Dijkstra from a *node* through an adjacency provider.
+
+    A thin wrapper over the shared seam (:func:`seeded_distances`):
+    landmark pre-computation runs it to exhaustion,
+    Contraction-Hierarchies preprocessing runs it as a *witness search*
+    (``ignore`` skips the node being contracted, ``targets`` stops once
+    every target settled, ``max_settled`` caps the search).
+    """
+    return seeded_distances(
+        provider, {source_node: 0.0}, cutoff,
+        ignore=ignore, targets=targets, max_settled=max_settled,
+    )
+
+
 def single_source_distances(
     provider: AdjacencyProvider,
     network: RoadNetwork,
@@ -175,29 +213,13 @@ def single_source_distances(
     """Bounded Dijkstra from a network position.
 
     Returns the distance of every node within ``cutoff`` of ``source``.
-    Best-known tentative distances are tracked so already-dominated
-    entries are never pushed — the heap holds at most one live entry
-    per frontier node instead of one per relaxed edge.
+    Seeds the edge's two end-nodes and funnels through the shared seam,
+    so the same call works on a ``RoadNetwork``, a ``CCAMStore`` or a
+    ``CSRGraph`` provider.
     """
-    dist: Dict[int, float] = {}
-    best: Dict[int, float] = {}
-    heap: list = []
-    for node_id, d in seed_distances(network, source).items():
-        if d <= cutoff and d < best.get(node_id, INF):
-            best[node_id] = d
-    for node_id, d in best.items():
-        heapq.heappush(heap, (d, node_id))
-    while heap:
-        d, node_id = heapq.heappop(heap)
-        if node_id in dist:
-            continue
-        dist[node_id] = d
-        for _edge_id, other, weight in provider.neighbors(node_id):
-            nd = d + weight
-            if nd <= cutoff and other not in dist and nd < best.get(other, INF):
-                best[other] = nd
-                heapq.heappush(heap, (nd, other))
-    return dist
+    return seeded_distances(
+        provider, seed_distances(network, source), cutoff
+    )
 
 
 def position_distance_from_node_map(
@@ -591,6 +613,7 @@ class PairwiseDistanceComputer:
                 self.cache_hits += 1
                 return d
             self.cache_misses += 1
+        before_settled = self.backend_counters.settled_nodes
         start = time.perf_counter()
         d = self._backend.position_distance(
             a, b, cutoff=self._cutoff, counters=self.backend_counters
@@ -598,10 +621,15 @@ class PairwiseDistanceComputer:
         elapsed = time.perf_counter() - start
         self.backend_seconds += elapsed
         if self.tracer.enabled:
+            # Span named after the backend ("ch.query" / "hub.query"),
+            # so EXPLAIN narrates each oracle with its own vocabulary.
             self.tracer.add_span(
-                "ch.query", elapsed, start=start,
+                f"{self._backend.name}.query", elapsed, start=start,
                 source_edge=a.edge_id, target_edge=b.edge_id,
                 cutoff=self._cutoff,
+                entries_scanned=(
+                    self.backend_counters.settled_nodes - before_settled
+                ),
             )
         return d
 
@@ -619,6 +647,8 @@ class PairwiseDistanceComputer:
         pos_list = list(positions)
         if len(pos_list) < 2:
             return 0
+        before_settled = self.backend_counters.settled_nodes
+        before_hits = self.backend_counters.bucket_hits
         start = time.perf_counter()
         matrix = self._backend.position_matrix(
             pos_list, cutoff=self._cutoff, counters=self.backend_counters
@@ -629,11 +659,70 @@ class PairwiseDistanceComputer:
         self.backend_seconds += elapsed
         if self.tracer.enabled:
             self.tracer.add_span(
-                "ch.many_to_many", elapsed, start=start,
+                f"{self._backend.name}.many_to_many", elapsed, start=start,
                 positions=len(pos_list), pairs=len(matrix),
                 cutoff=self._cutoff,
+                entries_scanned=(
+                    self.backend_counters.settled_nodes - before_settled
+                ),
+                kernel_hits=(
+                    self.backend_counters.bucket_hits - before_hits
+                ),
             )
         return len(matrix)
+
+    def pairwise_matrix(self, positions: Iterable[NetworkPosition]):
+        """The full symmetric pairwise matrix as a numpy array.
+
+        Served straight from the backend's array kernel (currently the
+        hub-label join) with no per-pair Python — the array greedy
+        consumes the result as-is.  Returns ``None`` when the backend
+        has no array kernel; callers fall back to :meth:`pairwise`.
+        """
+        array_kernel = getattr(self._backend, "position_matrix_array", None)
+        if array_kernel is None:
+            return None
+        pos_list = list(positions)
+        if len(pos_list) < 2:
+            return array_kernel(pos_list)
+        before_settled = self.backend_counters.settled_nodes
+        before_hits = self.backend_counters.bucket_hits
+        start = time.perf_counter()
+        matrix = array_kernel(
+            pos_list, cutoff=self._cutoff, counters=self.backend_counters
+        )
+        elapsed = time.perf_counter() - start
+        self.backend_seconds += elapsed
+        if self.tracer.enabled:
+            self.tracer.add_span(
+                f"{self._backend.name}.many_to_many", elapsed, start=start,
+                positions=len(pos_list),
+                pairs=len(pos_list) * (len(pos_list) - 1) // 2,
+                cutoff=self._cutoff,
+                entries_scanned=(
+                    self.backend_counters.settled_nodes - before_settled
+                ),
+                kernel_hits=(
+                    self.backend_counters.bucket_hits - before_hits
+                ),
+            )
+        return matrix
+
+    def _all_pairs_prefetched(self, pos_list: List[NetworkPosition]) -> bool:
+        """True when a prior :meth:`prefetch` already resolved every
+        cross-edge pair of ``pos_list``, so the many-to-many kernel
+        need not run again (the SEQ path prefetches the candidate pool
+        once and then asks for the same matrix during greedy)."""
+        if self._backend is None or not self._pair_cache:
+            return False
+        cache = self._pair_cache
+        for i, a in enumerate(pos_list):
+            for b in pos_list[i + 1 :]:
+                if a.edge_id == b.edge_id:
+                    continue
+                if self._pair_key(a, b) not in cache:
+                    return False
+        return True
 
     def distance(self, a: NetworkPosition, b: NetworkPosition) -> float:
         """``δ(a, b)``, or ``inf`` when it exceeds the cutoff."""
@@ -674,7 +763,8 @@ class PairwiseDistanceComputer:
         many-to-many kernel first, so each pair costs one lookup.
         """
         pos_list = list(positions)
-        self.prefetch(pos_list)
+        if not self._all_pairs_prefetched(pos_list):
+            self.prefetch(pos_list)
         out: Dict[Tuple[int, int], float] = {}
         for i in range(len(pos_list)):
             for j in range(i + 1, len(pos_list)):

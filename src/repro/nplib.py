@@ -1,0 +1,38 @@
+"""The numpy import gate for the array-native core.
+
+numpy is a declared dependency (``pyproject.toml``), but the
+pure-Python paths — bounded-Dijkstra distances, scalar scoring — must
+keep working in stripped-down environments, so nothing imports numpy
+unconditionally.  Every array-native module pulls ``np`` from here;
+``np is None`` means the feature is unavailable and
+:func:`require_numpy` raises a :class:`~repro.errors.DependencyError`
+naming the feature instead of an opaque ``ImportError`` deep inside a
+kernel.
+"""
+
+from __future__ import annotations
+
+from .errors import DependencyError
+
+try:  # pragma: no cover — exercised by monkeypatching ``np`` in tests
+    import numpy as np
+except ImportError:  # pragma: no cover — numpy is a declared dependency
+    np = None
+
+__all__ = ["np", "HAVE_NUMPY", "require_numpy"]
+
+#: Whether the array-native paths (CSR graph, hub labels, vectorized
+#: scoring) are available in this environment.
+HAVE_NUMPY = np is not None
+
+
+def require_numpy(feature: str):
+    """Return ``np`` or raise a clear error naming the blocked feature."""
+    if np is None:
+        raise DependencyError(
+            f"{feature} requires numpy (declared in pyproject.toml but "
+            "not importable here); install it, or stay on the "
+            "pure-Python paths (--distance-backend dijkstra / scalar "
+            "scoring)"
+        )
+    return np

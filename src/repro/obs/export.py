@@ -361,9 +361,15 @@ def database_gauges(db) -> Dict[str, float]:
     if backend is not None:
         # One-hot backend label: repro_distance_backend_ch 1.0 says the
         # scrape came from a CH-backed run without needing label pairs.
-        for name in ("dijkstra", "ch"):
+        for name in ("dijkstra", "ch", "hub"):
             gauges[f"distance_backend.{name}"] = (
                 1.0 if backend == name else 0.0
+            )
+    scoring = getattr(db, "scoring_mode", None)
+    if scoring is not None:
+        for name in ("array", "scalar"):
+            gauges[f"scoring_mode.{name}"] = (
+                1.0 if scoring == name else 0.0
             )
     oracle = getattr(db, "_ch_oracle", None)
     if oracle is not None:
@@ -371,6 +377,13 @@ def database_gauges(db) -> Dict[str, float]:
         gauges["ch.shortcuts_added"] = float(oracle.shortcuts_added)
         gauges["ch.upward_edges"] = float(oracle.upward_edges)
         gauges["ch.nodes"] = float(oracle.num_nodes)
+    hub = getattr(db, "_hub_oracle", None)
+    if hub is not None:
+        gauges["hub_label.build_seconds"] = float(hub.build_seconds)
+        gauges["hub_label.labels"] = float(hub.num_labels)
+        gauges["hub_label.label_entries"] = float(hub.label_entries)
+        gauges["hub_label.avg_label_size"] = float(hub.avg_label_size)
+        gauges["hub_label.max_label_size"] = float(hub.max_label_size)
     data_version = getattr(db, "data_version", None)
     if data_version is not None:
         gauges["data_version"] = float(data_version)

@@ -113,3 +113,107 @@ def test_greedy_is_2_approximation(seed):
     f_greedy = obj.objective(got_dists, pair)
     f_opt = brute_force_objective_max(items, k, obj, pd)
     assert f_greedy >= f_opt / 2.0 - 1e-9
+
+
+def matrix_builder_from(pd):
+    """Build the n×n pair matrix the array path expects from a scalar pd."""
+
+    def build(pool):
+        n = len(pool)
+        mat = np.zeros((n, n), dtype=np.float64)
+        for i in range(n):
+            for j in range(i + 1, n):
+                mat[i, j] = mat[j, i] = pd(pool[i], pool[j])
+        return mat
+
+    return build
+
+
+class TestMatrixScalarIdentity:
+    """The masked-argmax matrix path returns exactly what the scalar
+    lazy-θ path returns — same objects, same order — including under
+    ties and unreachable (inf) pairs."""
+
+    def run_both(self, items, k, obj, pd):
+        scalar = greedy_diversify(items, k, obj, pd)
+        array = greedy_diversify(
+            items, k, obj, pd, pair_matrix_builder=matrix_builder_from(pd)
+        )
+        return scalar, array
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(1, 9))
+    def test_random_pools_identical(self, seed, k):
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(2, 16))
+        coords = rng.uniform(0, 100, size=n)
+        dists = rng.uniform(0, 100, size=n)
+        items = make_items(list(dists))
+        points = {i: float(coords[i]) for i in range(n)}
+        obj = DiversificationObjective(float(rng.uniform(0, 1)), 100)
+        scalar, array = self.run_both(items, k, obj, euclid_pairs(points))
+        assert [it.object.object_id for it in array] == [
+            it.object.object_id for it in scalar
+        ]
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**6), st.integers(2, 8))
+    def test_heavily_tied_pools_identical(self, seed, k):
+        """Quantised inputs force θ ties; both paths must break them
+        the same way (lexicographically-first pair of the sorted pool)."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(3, 14))
+        coords = rng.integers(0, 3, size=n).astype(float) * 50.0
+        dists = rng.integers(0, 3, size=n).astype(float) * 25.0
+        items = make_items(list(dists))
+        points = {i: float(coords[i]) for i in range(n)}
+        obj = DiversificationObjective(0.5, 100)
+        scalar, array = self.run_both(items, k, obj, euclid_pairs(points))
+        assert [it.object.object_id for it in array] == [
+            it.object.object_id for it in scalar
+        ]
+
+    def test_all_pairs_tied(self):
+        items = make_items([10.0] * 8)
+        obj = DiversificationObjective(0.5, 100)
+        scalar, array = self.run_both(items, 4, obj, lambda a, b: 60.0)
+        assert [it.object.object_id for it in array] == [
+            it.object.object_id for it in scalar
+        ]
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**6))
+    def test_inf_pair_distances_identical(self, seed):
+        """Unreachable pairs (inf network distance) clamp to full
+        diversity in both paths."""
+        rng = np.random.default_rng(seed)
+        n = int(rng.integers(4, 12))
+        dists = rng.uniform(0, 100, size=n)
+        items = make_items(list(dists))
+        base = {i: float(rng.uniform(0, 100)) for i in range(n)}
+        cut = set(
+            int(i) for i in rng.choice(n, size=max(1, n // 3), replace=False)
+        )
+
+        def pd(a, b):
+            ia, ib = a.object.object_id, b.object.object_id
+            if ia in cut or ib in cut:
+                return float("inf")
+            return abs(base[ia] - base[ib])
+
+        obj = DiversificationObjective(0.5, 100)
+        scalar, array = self.run_both(items, 5, obj, pd)
+        assert [it.object.object_id for it in array] == [
+            it.object.object_id for it in scalar
+        ]
+
+    def test_odd_k_extra_identical(self):
+        items = make_items([3.0, 1.0, 4.0, 1.5, 9.0, 2.6, 5.3])
+        obj = DiversificationObjective(0.3, 100)
+        pd = lambda a, b: float(  # noqa: E731
+            abs(a.object.object_id - b.object.object_id) * 10.0
+        )
+        scalar, array = self.run_both(items, 5, obj, pd)
+        assert [it.object.object_id for it in array] == [
+            it.object.object_id for it in scalar
+        ]

@@ -114,3 +114,73 @@ class TestPruningBounds:
         drop_lo = lo.theta_ub_unvisited(0) - lo.theta_ub_unvisited(900)
         drop_hi = hi.theta_ub_unvisited(0) - hi.theta_ub_unvisited(900)
         assert drop_hi > drop_lo
+
+
+class TestArrayScoring:
+    """The vectorized twins are bit-identical to the scalar methods."""
+
+    @given(st.lists(dist, min_size=1, max_size=40), st.floats(0.0, 1.0))
+    def test_relevance_array_bit_identical(self, dists, lam):
+        import numpy as np
+
+        obj = DiversificationObjective(lam, 1000)
+        got = obj.relevance_array(np.asarray(dists, dtype=np.float64))
+        assert got.tolist() == [obj.relevance(d) for d in dists]
+
+    @given(st.lists(dist, min_size=1, max_size=40))
+    def test_diversity_array_bit_identical(self, pairs):
+        import numpy as np
+
+        obj = DiversificationObjective(0.7, 1000)
+        got = obj.diversity_array(np.asarray(pairs, dtype=np.float64))
+        assert got.tolist() == [obj.diversity(p) for p in pairs]
+
+    @given(dist, st.lists(dist, min_size=1, max_size=25))
+    def test_theta_batch_bit_identical(self, d_u, dists_v):
+        import numpy as np
+
+        obj = DiversificationObjective(0.6, 800)
+        dv = np.asarray(dists_v, dtype=np.float64)
+        pairs = d_u + dv  # the triangle bound COM feeds it
+        got = obj.theta_batch(d_u, dv, pairs)
+        want = [
+            obj.theta(d_u, v, d_u + v) for v in dists_v
+        ]
+        assert got.tolist() == want
+
+    @given(st.lists(dist, min_size=2, max_size=12), st.integers(0, 10**6))
+    def test_theta_matrix_bit_identical(self, dists, seed):
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        obj = DiversificationObjective(0.7, 1000)
+        n = len(dists)
+        pair = rng.uniform(0.0, 2000.0, size=(n, n))
+        pair = (pair + pair.T) / 2.0
+        theta = obj.theta_matrix(np.asarray(dists, dtype=np.float64), pair)
+        for i in range(n):
+            for j in range(n):
+                assert theta[i, j] == obj.theta(
+                    dists[i], dists[j], float(pair[i, j])
+                ), (i, j)
+
+    def test_inf_pair_distances_clamp_like_scalar(self):
+        import math
+
+        import numpy as np
+
+        obj = DiversificationObjective(0.5, 100)
+        inf = math.inf
+        got = obj.diversity_array(np.asarray([inf, 0.0, 250.0]))
+        assert got.tolist() == [
+            obj.diversity(inf), obj.diversity(0.0), obj.diversity(250.0)
+        ]
+
+    def test_requires_numpy(self, monkeypatch):
+        import repro.nplib as nplib
+        from repro.errors import DependencyError
+
+        monkeypatch.setattr(nplib, "np", None)
+        obj = DiversificationObjective(0.5, 100)
+        with pytest.raises(DependencyError, match="numpy"):
+            obj.relevance_array([1.0])

@@ -130,6 +130,25 @@ class TestDatabaseUpdates:
         assert rebuilt is not oracle
         assert live_db.metrics.counters()["ch.invalidations"] == 1
 
+    def test_reweight_drops_hub_oracle_and_csr_for_lazy_rebuild(
+        self, live_db
+    ):
+        live_db.use_distance_backend("hub")
+        oracle = live_db.hub_oracle()
+        csr = live_db.csr_graph()
+        live_db.update_edge_weight(0, 140.0)
+        assert live_db._hub_oracle is None
+        assert live_db._csr_graph is None
+        rebuilt = live_db.hub_oracle()
+        assert rebuilt is not oracle
+        assert live_db.csr_graph() is not csr
+        counters = live_db.metrics.counters()
+        assert counters["hub_label.invalidations"] == 1
+        # The rebuilt CSR reflects the committed weight.
+        live_db.csr_graph().validate_roundtrip(
+            live_db.network, store=live_db.store
+        )
+
     def test_updates_require_frozen_db(self, grid_network9):
         db = Database(grid_network9, buffer_pages=8)
         from repro.errors import ReproError

@@ -1,9 +1,9 @@
-"""The DistanceBackend seam: dijkstra vs CH through the full engine.
+"""The DistanceBackend seam: dijkstra vs CH vs hub through the engine.
 
-The acceptance bar for the CH backend is *identical answers* — same
-object ids, same objective values — on every SK/diversified scenario,
-with the backend visible in plans, stats, metrics records, slow-query
-logs and Prometheus exports.
+The acceptance bar for the oracle backends is *identical answers* —
+same object ids, same objective values — on every SK/diversified
+scenario, with the backend visible in plans, stats, metrics records,
+slow-query logs and Prometheus exports.
 """
 
 import math
@@ -14,6 +14,7 @@ from repro.core.database import Database
 from repro.core.queries import DiversifiedSKQuery
 from repro.datasets.synthetic import random_planar_network
 from repro.errors import QueryError
+from repro.network.graph import NetworkPosition
 from repro.obs.export import database_gauges, prometheus_text
 from repro.obs.slowlog import SlowQueryThreshold
 from repro.workloads.queries import WorkloadConfig, generate_diversified_queries
@@ -60,6 +61,37 @@ class TestBackendSelection:
         assert counters["ch.shortcuts_added"] == oracle.shortcuts_added
         assert counters["ch.upward_edges"] == oracle.upward_edges
 
+    def test_hub_backend_selected_and_recorded(self, restore_backend):
+        db = restore_backend
+        db.use_distance_backend("hub")
+        oracle = db.hub_oracle()
+        assert db.pairwise_backend() is oracle
+        assert db.hub_oracle() is oracle  # built once
+        # The labels reuse the database's CH (same ordering, no second
+        # preprocessing pass).
+        assert oracle.ch is db.ch_oracle()
+        counters = db.metrics.snapshot()["counters"]
+        assert counters["hub_label.labels"] == oracle.num_labels
+        assert counters["hub_label.label_entries"] == oracle.label_entries
+
+    def test_constructor_selects_hub(self):
+        db = Database(random_planar_network(30, seed=2),
+                      distance_backend="hub")
+        assert db.distance_backend == "hub"
+        assert db.pairwise_backend() is db.hub_oracle()
+
+    def test_unknown_scoring_mode_rejected(self, restore_backend):
+        with pytest.raises(QueryError):
+            restore_backend.use_scoring_mode("gpu")
+
+    def test_scoring_mode_roundtrip(self, restore_backend):
+        db = restore_backend
+        assert db.scoring_mode == "array"  # numpy is available in tests
+        db.use_scoring_mode("scalar")
+        assert db.scoring_mode == "scalar"
+        db.use_scoring_mode("array")
+        assert db.scoring_mode == "array"
+
 
 class TestAnswerEquivalence:
     def test_seq_and_com_identical_across_backends(
@@ -92,6 +124,59 @@ class TestAnswerEquivalence:
 
         assert delta("query.backend.ch") == 2 * len(queries)
         assert delta("query.backend.ch") == delta("query.backend.dijkstra")
+
+    def test_all_three_backends_and_both_scorings_agree(
+        self, restore_backend, tiny_indexes
+    ):
+        """The full cross product — {dijkstra, ch, hub} × {scalar,
+        array} — returns byte-identical object ids and objective values
+        (rounded to 9 decimals, the repo's equivalence contract)."""
+        db = restore_backend
+        index = tiny_indexes["sif"]
+        config = WorkloadConfig(num_queries=6, num_keywords=2, k=5, seed=83)
+        queries = generate_diversified_queries(db, config)
+        results = {}
+        try:
+            for backend in ("dijkstra", "ch", "hub"):
+                db.use_distance_backend(backend)
+                for scoring in ("scalar", "array"):
+                    db.use_scoring_mode(scoring)
+                    for method in ("seq", "com"):
+                        results[(backend, scoring, method)] = _run_workload(
+                            db, index, queries, method
+                        )
+        finally:
+            db.use_scoring_mode("array")
+        baseline_seq = results[("dijkstra", "scalar", "seq")]
+        baseline_com = results[("dijkstra", "scalar", "com")]
+        for (backend, scoring, method), got in results.items():
+            want = baseline_seq if method == "seq" else baseline_com
+            assert got == want, (backend, scoring, method)
+
+    def test_hub_stats_carry_backend_counters(
+        self, restore_backend, tiny_indexes
+    ):
+        db = restore_backend
+        db.use_distance_backend("hub")
+        index = tiny_indexes["sif"]
+        config = WorkloadConfig(num_queries=4, num_keywords=2, k=5, seed=71)
+        stats = [
+            db.diversified_search(index, q, method="seq").stats
+            for q in generate_diversified_queries(db, config)
+        ]
+        assert all(s.distance_backend == "hub" for s in stats)
+        busy = [s for s in stats if s.backend_queries]
+        assert busy
+        # settled_nodes carries label entries scanned; bucket_hits the
+        # label-join kernel hits; no Dijkstra ran at all.
+        assert all(s.backend_settled_nodes > 0 for s in busy)
+        assert any(s.backend_bucket_hits > 0 for s in busy)
+        assert all(s.pairwise_dijkstras == 0 for s in stats)
+        counters = db.metrics.snapshot()["counters"]
+        assert counters["hub_label.queries"] >= sum(
+            s.backend_queries for s in busy
+        )
+        assert counters["hub_label.kernel_hits"] > 0
 
     def test_stats_carry_backend_counters(self, restore_backend, tiny_indexes):
         db = restore_backend
@@ -180,3 +265,109 @@ class TestObservability:
         )
         rendered = report.render()
         assert "distance backend: ch" in rendered
+
+    def test_prometheus_gauges_carry_hub_stats(self, restore_backend):
+        db = restore_backend
+        db.use_distance_backend("hub")
+        db.hub_oracle()
+        gauges = database_gauges(db)
+        assert gauges["distance_backend.hub"] == 1.0
+        assert gauges["distance_backend.dijkstra"] == 0.0
+        assert gauges["hub_label.labels"] == db.network.num_nodes
+        assert gauges["hub_label.label_entries"] > 0
+        assert gauges["hub_label.avg_label_size"] >= 1.0
+        assert gauges["scoring_mode.array"] == 1.0
+        text = prometheus_text(db.metrics, gauges=gauges)
+        assert "repro_distance_backend_hub 1.0" in text
+        assert "repro_hub_label_label_entries" in text
+
+    def test_explain_narrates_hub_kernel(self, restore_backend, tiny_indexes):
+        db = restore_backend
+        db.use_distance_backend("hub")
+        query = DiversifiedSKQuery.create(
+            db.network.node_position(3),
+            ["a"],
+            delta_max=2000.0,
+            k=3,
+        )
+        report = db.explain(
+            tiny_indexes["sif"], query, method="seq",
+            slow_threshold=SlowQueryThreshold(latency_seconds=math.inf),
+        )
+        rendered = report.render()
+        assert "distance backend: hub" in rendered
+        assert "scoring: array" in rendered
+        # The many-to-many prefetch span narrates label-entry scans and
+        # kernel hits through the hub-specific formatter.
+        if "hub-label kernel" in rendered:
+            assert "kernel hits" in rendered
+
+
+class TestHubUpdateInteraction:
+    """Reweight/insert/delete under the hub backend never serve stale
+    distances — the oracle drops at commit and rebuilds lazily."""
+
+    def _fresh_db(self, seed=41):
+        network = random_planar_network(60, seed=seed)
+        db = Database(network, buffer_pages=64, distance_backend="hub")
+        import numpy as np
+
+        rng = np.random.default_rng(seed)
+        edges = list(network.edges())
+        vocab = ["cafe", "fuel", "park"]
+        for _ in range(90):
+            e = edges[int(rng.integers(len(edges)))]
+            db.add_object(
+                NetworkPosition(e.edge_id, float(rng.uniform(0, e.weight))),
+                [vocab[int(rng.integers(len(vocab)))]],
+            )
+        db.freeze()
+        index = db.build_index("sif", file_prefix=f"hub-upd-{seed}")
+        query = DiversifiedSKQuery.create(
+            NetworkPosition(edges[3].edge_id, edges[3].weight / 2),
+            ["cafe"], delta_max=10_000.0, k=4, lambda_=0.7,
+        )
+        return db, index, query, edges
+
+    def _assert_matches_dijkstra(self, db, index, query):
+        got = db.diversified_search(index, query, method="seq")
+        db.use_distance_backend("dijkstra")
+        want = db.diversified_search(index, query, method="seq")
+        db.use_distance_backend("hub")
+        assert got.object_ids() == want.object_ids()
+        assert got.objective_value == pytest.approx(want.objective_value)
+
+    def test_reweight_triggers_lazy_rebuild(self):
+        db, index, query, edges = self._fresh_db()
+        db.diversified_search(index, query, method="seq")
+        oracle = db._hub_oracle
+        assert oracle is not None
+        db.update_edge_weight(edges[0].edge_id, edges[0].weight * 2.5)
+        assert db._hub_oracle is None
+        assert db.metrics.counters()["hub_label.invalidations"] == 1
+        self._assert_matches_dijkstra(db, index, query)
+        assert db._hub_oracle is not None
+        assert db._hub_oracle is not oracle
+
+    def test_insert_and_delete_stay_correct(self):
+        db, index, query, edges = self._fresh_db(seed=43)
+        db.hub_oracle()
+        obj = db.insert_object(
+            NetworkPosition(query.position.edge_id, 1.0),
+            ["cafe"], indexes=(index,),
+        )
+        # Object updates leave network distances untouched: the oracle
+        # survives, and the new object is answerable through it.
+        assert db._hub_oracle is not None
+        self._assert_matches_dijkstra(db, index, query)
+        db.delete_object(obj.object_id, indexes=(index,))
+        assert db._hub_oracle is not None
+        self._assert_matches_dijkstra(db, index, query)
+
+    def test_epoch_sequence_of_mixed_updates(self):
+        db, index, query, edges = self._fresh_db(seed=47)
+        for i, factor in enumerate((1.5, 0.6, 2.0)):
+            edge = db.network.edge(edges[i].edge_id)
+            db.update_edge_weight(edge.edge_id, edge.weight * factor)
+            self._assert_matches_dijkstra(db, index, query)
+        assert db.metrics.counters()["hub_label.invalidations"] >= 1

@@ -1,0 +1,219 @@
+"""CSR snapshot tests: round-trip fidelity and array-kernel parity.
+
+The load-bearing properties: (a) ``CSRGraph.from_network`` is a
+faithful snapshot — every adjacency entry, weight and on-edge object
+offset survives the trip, proven by ``validate_roundtrip`` on random
+connected networks; (b) the array-heap Dijkstra behind the shared
+traversal seam returns *identical* results to the dict kernel — same
+distances, same settle order, same ``ignore``/``targets``/
+``max_settled`` contracts — so every consumer (landmark selection
+included) is oblivious to which representation it was handed.
+"""
+
+import math
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.datasets.synthetic import grid_network, random_planar_network
+from repro.errors import DependencyError, GraphError
+from repro.network.csr import CSRGraph
+from repro.network.distance import (
+    node_source_distances,
+    seeded_distances,
+    single_source_distances,
+)
+from repro.network.graph import NetworkPosition
+from repro.network.landmarks import LandmarkIndex
+from repro.network.objects import ObjectStore
+
+
+def random_positions(network, rng, count):
+    edges = list(network.edges())
+    out = []
+    for _ in range(count):
+        edge = rng.choice(edges)
+        out.append(NetworkPosition(edge.edge_id, rng.random() * edge.weight))
+    return out
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", [0, 1, 5, 17, 42])
+    def test_random_networks_round_trip(self, seed):
+        network = random_planar_network(60, seed=seed)
+        csr = CSRGraph.from_network(network)
+        csr.validate_roundtrip(network)
+        assert csr.num_nodes == network.num_nodes
+        assert csr.num_entries == 2 * network.num_edges
+
+    def test_grid_round_trips(self):
+        network = grid_network(6, 5, seed=3)
+        CSRGraph.from_network(network).validate_roundtrip(network)
+
+    def test_neighbors_protocol_matches_network(self):
+        network = random_planar_network(40, seed=7)
+        csr = CSRGraph.from_network(network)
+        for node in network.nodes():
+            assert sorted(csr.neighbors(node.node_id)) == sorted(
+                network.neighbors(node.node_id)
+            )
+
+    @pytest.mark.parametrize("seed", [3, 9, 27])
+    def test_object_offsets_round_trip(self, seed):
+        network = random_planar_network(50, seed=seed)
+        store = ObjectStore(network)
+        rng = random.Random(seed)
+        for pos in random_positions(network, rng, 60):
+            store.add(pos, ["term"])
+        store.freeze()
+        csr = CSRGraph.from_network(network, store=store)
+        csr.validate_roundtrip(network, store=store)
+        assert len(csr.object_ids) == 60
+        # Offsets are carried verbatim, sorted by object id.
+        by_id = {o.object_id: o for o in store}
+        for i, oid in enumerate(csr.object_ids.tolist()):
+            assert csr.object_offsets[i] == pytest.approx(
+                by_id[oid].position.offset
+            )
+            assert int(csr.object_edge_ids[i]) == by_id[oid].position.edge_id
+
+    def test_weight_drift_detected(self):
+        network = random_planar_network(30, seed=4)
+        csr = CSRGraph.from_network(network)
+        edge = next(iter(network.edges()))
+        network.update_edge_weight(edge.edge_id, edge.weight * 2.0)
+        with pytest.raises(GraphError, match="weight drift|degree|adjacency"):
+            csr.validate_roundtrip(network)
+
+    def test_injected_self_loop_is_carried_and_flagged(self):
+        # RoadNetwork.add_edge rejects self-loops, so inject one the way
+        # the dynamic-distance tests do; the snapshot must carry it
+        # faithfully and the validator must name the structural defect.
+        network = random_planar_network(20, seed=6)
+        eid = network.num_edges
+        network._edges[eid] = SimpleNamespace(
+            edge_id=eid, n1=4, n2=4, weight=1.0
+        )
+        network._adjacency[4].append((eid, 4, 1.0))
+        csr = CSRGraph.from_network(network)
+        assert (eid, 4, 1.0) in csr.neighbors(4)  # faithful carry
+        with pytest.raises(GraphError, match="self-loop"):
+            csr.validate_roundtrip(network)
+
+    def test_injected_parallel_edge_is_carried_and_flagged(self):
+        network = random_planar_network(20, seed=8)
+        a, b = next((e.n1, e.n2) for e in network.edges())
+        eid = network.num_edges
+        network._edges[eid] = SimpleNamespace(
+            edge_id=eid, n1=a, n2=b, weight=2.5
+        )
+        network._adjacency[a].append((eid, b, 2.5))
+        network._adjacency[b].append((eid, a, 2.5))
+        csr = CSRGraph.from_network(network)
+        assert (eid, b, 2.5) in csr.neighbors(a)
+        with pytest.raises(GraphError, match="parallel"):
+            csr.validate_roundtrip(network)
+
+    def test_store_mismatch_detected(self):
+        network = random_planar_network(30, seed=11)
+        store = ObjectStore(network)
+        rng = random.Random(11)
+        for pos in random_positions(network, rng, 5):
+            store.add(pos, ["x"])
+        store.freeze()
+        csr = CSRGraph.from_network(network)  # built WITHOUT the store
+        with pytest.raises(GraphError, match="object"):
+            csr.validate_roundtrip(network, store=store)
+
+
+class TestArrayKernelParity:
+    @pytest.mark.parametrize("seed", [0, 4, 11, 23])
+    def test_node_source_distances_identical(self, seed):
+        network = random_planar_network(60, seed=seed)
+        csr = CSRGraph.from_network(network)
+        rng = random.Random(seed)
+        nodes = [n.node_id for n in network.nodes()]
+        for _ in range(10):
+            src = rng.choice(nodes)
+            for cutoff in (math.inf, 2.0, 0.5):
+                want = node_source_distances(network, src, cutoff=cutoff)
+                got = node_source_distances(csr, src, cutoff=cutoff)
+                # Same mapping AND same settle (iteration) order.
+                assert list(got.items()) == pytest.approx(list(want.items()))
+                assert list(got) == list(want)
+
+    @pytest.mark.parametrize("seed", [2, 13])
+    def test_single_source_distances_identical(self, seed):
+        network = random_planar_network(50, seed=seed)
+        csr = CSRGraph.from_network(network)
+        rng = random.Random(seed)
+        for pos in random_positions(network, rng, 8):
+            want = single_source_distances(network, network, pos)
+            got = single_source_distances(csr, network, pos)
+            assert list(got.items()) == pytest.approx(list(want.items()))
+
+    def test_ignore_targets_max_settled_contracts(self):
+        network = random_planar_network(50, seed=19)
+        csr = CSRGraph.from_network(network)
+        rng = random.Random(19)
+        nodes = [n.node_id for n in network.nodes()]
+        for _ in range(15):
+            src, blocked = rng.sample(nodes, 2)
+            targets = rng.sample(nodes, 4)
+            for kwargs in (
+                {"ignore": blocked},
+                {"targets": targets},
+                {"max_settled": 7},
+                {"ignore": blocked, "targets": targets, "max_settled": 12},
+            ):
+                want = seeded_distances(network, {src: 0.0}, 3.0, **kwargs)
+                got = seeded_distances(csr, {src: 0.0}, 3.0, **kwargs)
+                assert list(got) == list(want)
+                assert got == pytest.approx(want)
+
+    def test_multi_seed_parity(self):
+        network = random_planar_network(40, seed=31)
+        csr = CSRGraph.from_network(network)
+        rng = random.Random(31)
+        nodes = [n.node_id for n in network.nodes()]
+        seeds = {nid: rng.random() for nid in rng.sample(nodes, 3)}
+        want = seeded_distances(network, dict(seeds), 4.0)
+        got = seeded_distances(csr, dict(seeds), 4.0)
+        assert list(got.items()) == pytest.approx(list(want.items()))
+
+    def test_seeds_above_cutoff_never_enter(self):
+        network = random_planar_network(30, seed=37)
+        csr = CSRGraph.from_network(network)
+        out = seeded_distances(csr, {0: 5.0}, 1.0)
+        assert out == {}
+
+    @pytest.mark.parametrize("seed", [5, 21])
+    def test_landmark_selection_identical(self, seed):
+        # Landmarks pick farthest-first over node_source_distances; the
+        # identical settle order means identical landmark choices and
+        # identical upper bounds through either representation.
+        network = random_planar_network(50, seed=seed)
+        csr = CSRGraph.from_network(network)
+        lm_net = LandmarkIndex(network, network, num_landmarks=3)
+        lm_csr = LandmarkIndex(csr, network, num_landmarks=3)
+        assert lm_csr.landmarks == lm_net.landmarks
+        rng = random.Random(seed)
+        for a, b in zip(
+            random_positions(network, rng, 10),
+            random_positions(network, rng, 10),
+        ):
+            assert lm_csr.upper_bound(a, b) == pytest.approx(
+                lm_net.upper_bound(a, b)
+            )
+
+
+class TestNumpyGate:
+    def test_missing_numpy_raises_dependency_error(self, monkeypatch):
+        import repro.network.csr as csr_mod
+        import repro.nplib as nplib
+
+        monkeypatch.setattr(nplib, "np", None)
+        monkeypatch.setattr(csr_mod, "np", None, raising=False)
+        with pytest.raises(DependencyError, match="numpy"):
+            CSRGraph.from_network(random_planar_network(10, seed=1))

@@ -174,3 +174,35 @@ class TestRun:
             )
             scratch = db.diversified_search(index, q, method="seq")
             assert via_engine.object_ids() == scratch.object_ids()
+
+    def test_hub_backend_never_serves_stale_answers(self):
+        """The update workload under ``--distance-backend hub``: every
+        reweight batch drops the label oracle, and post-workload answers
+        equal a dijkstra evaluation against the mutated network —
+        i.e. the lazily rebuilt labels reflect every journaled update."""
+        db = make_db()
+        db.use_distance_backend("hub")
+        db.hub_oracle()  # build eagerly so the workload must invalidate
+        index = db.build_index("sif", file_prefix="upd-hub")
+        queries = make_queries(db, n=5, seed=23)
+        report = run_update_workload(
+            db,
+            index,
+            queries,
+            UpdateWorkloadConfig(updates_per_batch=8, num_batches=3, seed=9),
+            io_latency=0.0,
+        )
+        counters = db.metrics.counters()
+        reweights = counters.get("update.edge_weight", 0)
+        assert report.final_epoch == db.data_version > 0
+        if reweights:
+            assert counters.get("hub_label.invalidations", 0) >= 1
+        for q in queries:
+            got = db.diversified_search(index, q, method="com")
+            db.use_distance_backend("dijkstra")
+            want = db.diversified_search(index, q, method="com")
+            db.use_distance_backend("hub")
+            assert got.object_ids() == want.object_ids()
+            assert got.objective_value == pytest.approx(
+                want.objective_value
+            )
