@@ -5,7 +5,7 @@ Every benchmark run prints per-figure tables and saves CSVs under
 across PRs or attaching to CI.  :class:`TrajectoryWriter` collects the
 same rows the figures print and serialises them (plus run context:
 dataset scale, python version) into a single JSON document, by default
-``BENCH_PR8.json`` at the repository root.
+``BENCH_PR9.json`` at the repository root.
 
 The benchmark conftest hooks this in transparently: every table that
 goes through the ``show`` fixture is recorded, and the file is written
@@ -32,7 +32,7 @@ __all__ = ["TrajectoryWriter", "default_trajectory_path"]
 
 #: Current artifact name; bumped per PR so stacked PRs keep their own
 #: benchmark baselines side by side.
-DEFAULT_FILENAME = "BENCH_PR8.json"
+DEFAULT_FILENAME = "BENCH_PR9.json"
 
 _DISABLED = {"0", "off", "none", "false"}
 

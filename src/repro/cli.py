@@ -11,8 +11,20 @@ Commands
 ``explain``   run ONE query under tracing and print its pruning report
 ``slowlog``   render a persisted slow-query log (JSON lines) as text
 ``loadtest``  drive sustained QPS (open loop) gated by a live SLO
+``replay``    deterministically re-execute a ``--record`` journal and
+              report divergences (``--backend``/``--scoring``/
+              ``--workers`` turn it into a cross-backend audit)
 ``profile``   render a folded-stack profile written by the profiler
 ``bench``     benchmark artifact tools (``bench compare OLD NEW``)
+
+Flight recorder: every workload command accepts ``--record FILE`` to
+journal each executed query (parameters, plan label, result digest,
+stats) plus every committed update as JSON lines — ``repro replay
+FILE`` re-executes the journal and fails on any divergence.
+``--shadow-backend NAME`` re-runs a sampled fraction of queries
+(``--shadow-rate``) on a second distance backend in flight and counts
+``shadow.divergences``; mismatches land in the slow-query log with
+both digests.
 
 The workload commands accept ``--metrics <path>`` to stream one JSON
 record per query (latency, stage breakdown, cache/buffer deltas) plus
@@ -46,6 +58,7 @@ flamegraph tooling.
 from __future__ import annotations
 
 import argparse
+import math
 import sys
 from pathlib import Path
 from typing import List, Optional
@@ -69,6 +82,40 @@ def _positive_int(text: str) -> int:
     value = int(text)
     if value <= 0:
         raise argparse.ArgumentTypeError("must be a positive integer")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """A finite float > 0.  Guards rate-style flags (``--profile-hz``,
+    ``--qps``): zero or negative values would busy-loop or crash a
+    daemon thread long after parsing, so reject them up front."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not a number")
+    if not value > 0 or math.isinf(value):
+        raise argparse.ArgumentTypeError(
+            "must be a positive finite number"
+        )
+    return value
+
+
+def _rate(text: str) -> float:
+    """A sampling fraction in ``(0, 1]``."""
+    value = _positive_float(text)
+    if value > 1.0:
+        raise argparse.ArgumentTypeError("must be a fraction in (0, 1]")
+    return value
+
+
+def _port(text: str) -> int:
+    """A TCP port number (0 = pick a free ephemeral port)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"{text!r} is not an integer")
+    if not 0 <= value <= 65535:
+        raise argparse.ArgumentTypeError("must be a port number (0-65535)")
     return value
 
 
@@ -161,10 +208,31 @@ def build_parser() -> argparse.ArgumentParser:
                  "metrics snapshot; exit non-zero on violation",
         )
         p.add_argument(
-            "--telemetry-port", type=int, default=None, metavar="PORT",
+            "--telemetry-port", type=_port, default=None, metavar="PORT",
             help="serve live telemetry over HTTP on 127.0.0.1:PORT for "
                  "the duration of the run (/metrics, /healthz, /vars, "
-                 "/slowlog, /profile, /slo); 0 picks a free port",
+                 "/slowlog, /profile, /slo, /recorder); 0 picks a free "
+                 "port",
+        )
+        p.add_argument(
+            "--record", metavar="PATH", default=None, type=_output_path,
+            help="flight-record every executed query (parameters, plan "
+                 "label, result digest, stats) plus committed updates "
+                 "as JSON lines to PATH; re-execute and audit with "
+                 "`repro replay PATH`",
+        )
+        p.add_argument(
+            "--shadow-backend", choices=DISTANCE_BACKENDS, default=None,
+            help="re-run a sampled fraction of diversified queries on "
+                 "this second distance backend in flight and compare "
+                 "result digests (divergences are counted and filed "
+                 "into the slow-query log; exit code reflects them)",
+        )
+        p.add_argument(
+            "--shadow-rate", type=_rate, default=1.0, metavar="FRACTION",
+            help="fraction of queries shadow-executed, in (0, 1] "
+                 "(default 1.0; sampling is deterministic in the "
+                 "query's batch index)",
         )
 
     p = sub.add_parser("info", help="dataset statistics")
@@ -309,11 +377,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--k", type=int, default=6)
     p.add_argument("--lambda", dest="lambda_", type=float, default=0.8)
     p.add_argument(
-        "--qps", type=float, default=20.0, metavar="RATE",
+        "--qps", type=_positive_float, default=20.0, metavar="RATE",
         help="offered arrival rate, queries/second (default 20)",
     )
     p.add_argument(
-        "--duration", type=float, default=10.0, metavar="SECONDS",
+        "--duration", type=_positive_float, default=10.0, metavar="SECONDS",
         help="how long to sustain the rate (default 10)",
     )
     p.add_argument(
@@ -327,8 +395,33 @@ def build_parser() -> argparse.ArgumentParser:
              "flamegraph lines to PATH (render with `repro profile`)",
     )
     p.add_argument(
-        "--profile-hz", type=float, default=None, metavar="HZ",
-        help="profiler sampling rate (default 67 Hz)",
+        "--profile-hz", type=_positive_float, default=None, metavar="HZ",
+        help="profiler sampling rate (default 67 Hz; must be > 0)",
+    )
+
+    p = sub.add_parser(
+        "replay",
+        help="re-execute a --record flight journal; report divergences",
+    )
+    p.add_argument("path", help="JSON-lines flight journal from --record")
+    p.add_argument(
+        "--backend", choices=DISTANCE_BACKENDS, default=None,
+        help="replay on this distance backend instead of the recorded "
+             "one (cross-backend audit: identical digests expected)",
+    )
+    p.add_argument(
+        "--scoring", choices=("array", "scalar"), default=None,
+        help="replay under this scoring mode instead of the recorded "
+             "one",
+    )
+    p.add_argument(
+        "--workers", type=_positive_int, default=1, metavar="N",
+        help="re-execute each epoch group on N engine threads "
+             "(default 1; answers must not change)",
+    )
+    p.add_argument(
+        "--limit", type=_positive_int, default=None, metavar="N",
+        help="replay only the first N recorded queries",
     )
 
     p = sub.add_parser(
@@ -461,6 +554,67 @@ def _report_slow_log(db) -> None:
     db.disable_slow_query_log()
 
 
+def _enable_recorder(db, args) -> None:
+    """Install the flight recorder when ``--record`` was given.
+
+    The header record stamps the journal with everything ``repro
+    replay`` needs to rebuild the run: dataset profile/scale/seed,
+    backend, scoring mode and starting epoch.
+    """
+    path = getattr(args, "record", None)
+    if not path:
+        return
+    recorder = db.enable_flight_recorder(path=path)
+    recorder.set_header(
+        command=args.command,
+        profile=args.profile,
+        scale=args.scale,
+        seed=args.seed,
+        index=getattr(args, "index", None),
+        distance_backend=db.distance_backend,
+        scoring=db.scoring_mode,
+        workers=getattr(args, "workers", 1),
+        data_version=db.data_version,
+    )
+
+
+def _finish_recorder(db) -> None:
+    recorder = db.flight_recorder
+    if recorder is None:
+        return
+    summary = recorder.summary()
+    line = (f"Flight recorder: captured {summary['observed']} queries + "
+            f"{summary['updates']} updates")
+    if recorder.path is not None:
+        line += f" → {recorder.path} (audit with `repro replay`)"
+    print(line, file=sys.stderr)
+    db.disable_flight_recorder()
+
+
+def _enable_shadow(db, args) -> None:
+    """Arm shadow execution when ``--shadow-backend`` was given."""
+    backend = getattr(args, "shadow_backend", None)
+    if backend is None:
+        return
+    db.engine.enable_shadow(backend, getattr(args, "shadow_rate", 1.0))
+
+
+def _report_shadow(db, args) -> int:
+    """Print the shadow verdict; non-zero when digests diverged."""
+    backend = getattr(args, "shadow_backend", None)
+    if backend is None:
+        return 0
+    counters = db.metrics.counters()
+    executions = counters.get("shadow.executions", 0)
+    divergences = counters.get("shadow.divergences", 0)
+    print(f"Shadow [{backend}]: {executions} shadow executions, "
+          f"{divergences} divergence(s)", file=sys.stderr)
+    if divergences:
+        print("shadow-backend audit FAILED", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _start_telemetry(db, args):
     """Start the HTTP telemetry server when ``--telemetry-port`` given.
 
@@ -544,6 +698,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         sink = _attach_metrics_sink(db, args)
         _enable_tracing(db, args)
         _enable_slow_log(db, args)
+        _enable_recorder(db, args)
+        _enable_shadow(db, args)
         server = _start_telemetry(db, args)
         try:
             index = db.build_index(args.index)
@@ -552,8 +708,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print_table([report.row()], f"SK workload on {args.profile}")
             _write_observability(db, args)
             _report_slow_log(db)
-            rc = _check_slo(db, args)
+            _finish_recorder(db)
+            rc = _check_slo(db, args) or _report_shadow(db, args)
         except BaseException:
+            db.disable_flight_recorder()
             _stop_telemetry(db, server)
             _close_metrics_sink(db, sink, error=True)
             raise
@@ -566,6 +724,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         sink = _attach_metrics_sink(db, args)
         _enable_tracing(db, args)
         _enable_slow_log(db, args)
+        _enable_recorder(db, args)
+        _enable_shadow(db, args)
         server = _start_telemetry(db, args)
         try:
             if args.distance_cache is not None:
@@ -590,8 +750,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                       file=sys.stderr)
             _write_observability(db, args)
             _report_slow_log(db)
-            rc = _check_slo(db, args)
+            _finish_recorder(db)
+            rc = _check_slo(db, args) or _report_shadow(db, args)
         except BaseException:
+            db.disable_flight_recorder()
             _stop_telemetry(db, server)
             _close_metrics_sink(db, sink, error=True)
             raise
@@ -606,6 +768,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         sink = _attach_metrics_sink(db, args)
         _enable_tracing(db, args)
         _enable_slow_log(db, args)
+        _enable_recorder(db, args)
+        _enable_shadow(db, args)
         server = _start_telemetry(db, args)
         try:
             if args.distance_cache is not None:
@@ -641,8 +805,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                       file=sys.stderr)
             _write_observability(db, args)
             _report_slow_log(db)
-            rc = _check_slo(db, args)
+            _finish_recorder(db)
+            rc = _check_slo(db, args) or _report_shadow(db, args)
         except BaseException:
+            db.disable_flight_recorder()
             _stop_telemetry(db, server)
             _close_metrics_sink(db, sink, error=True)
             raise
@@ -655,6 +821,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         sink = _attach_metrics_sink(db, args)
         _enable_tracing(db, args)
         _enable_slow_log(db, args)
+        _enable_recorder(db, args)
+        _enable_shadow(db, args)
         server = _start_telemetry(db, args)
         try:
             queries = generate_sk_queries(db, _config(args))
@@ -672,8 +840,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             print_table(rows, f"Index comparison on {args.profile}")
             _write_observability(db, args)
             _report_slow_log(db)
-            rc = _check_slo(db, args)
+            _finish_recorder(db)
+            rc = _check_slo(db, args) or _report_shadow(db, args)
         except BaseException:
+            db.disable_flight_recorder()
             _stop_telemetry(db, server)
             _close_metrics_sink(db, sink, error=True)
             raise
@@ -742,7 +912,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                 except ValueError:
                     skipped += 1  # truncated tail of a killed run
                     continue
-                if record.get("type") in ("slow_query", "slo_breach"):
+                if record.get("type") in (
+                    "slow_query", "slo_breach", "shadow_divergence",
+                ):
                     records.append(record)
         if args.limit is not None:
             records = records[-args.limit:]
@@ -759,6 +931,60 @@ def main(argv: Optional[List[str]] = None) -> int:
               file=sys.stderr)
         return 0
 
+    if args.command == "replay":
+        from .workloads.replay import (
+            ReplayConfig,
+            load_flight_journal,
+            run_replay,
+        )
+
+        path = Path(args.path)
+        if not path.exists():
+            print(f"error: {path} does not exist", file=sys.stderr)
+            return 1
+        journal = load_flight_journal(path)
+        if journal.header is None:
+            print(f"error: {path} has no flight_header record — was it "
+                  "written with --record?", file=sys.stderr)
+            return 2
+        if not journal.queries:
+            print(f"error: {path} contains no flight records",
+                  file=sys.stderr)
+            return 2
+        header = journal.header
+        profile = header.get("profile")
+        if profile not in PROFILES:
+            print(f"error: unknown dataset profile {profile!r} in journal "
+                  "header", file=sys.stderr)
+            return 2
+        overrides = {}
+        if header.get("seed") is not None:
+            overrides["seed"] = header["seed"]
+        scale = header.get("scale", 1.0)
+        print(f"Rebuilding {profile} (scale {scale}) from journal header...",
+              file=sys.stderr)
+        db = build_dataset(profile, scale=scale, **overrides)
+        backend = args.backend or header.get("distance_backend") or "dijkstra"
+        db.use_distance_backend(backend)
+        scoring = args.scoring or header.get("scoring")
+        if scoring:
+            db.use_scoring_mode(scoring)
+        sink = _attach_metrics_sink(db, args)
+        try:
+            config = ReplayConfig(
+                backend=backend,
+                scoring=scoring or db.scoring_mode,
+                workers=args.workers,
+                limit=args.limit,
+            )
+            report = run_replay(db, journal, config, journal_path=str(path))
+            print(report.render())
+        except BaseException:
+            _close_metrics_sink(db, sink, error=True)
+            raise
+        _close_metrics_sink(db, sink)
+        return 0 if report.passed else 1
+
     if args.command == "loadtest":
         from .obs.slo import SLOSpec
         from .workloads.loadtest import LoadTestConfig, run_loadtest
@@ -767,6 +993,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         sink = _attach_metrics_sink(db, args)
         _enable_tracing(db, args)
         _enable_slow_log(db, args)
+        _enable_recorder(db, args)
+        _enable_shadow(db, args)
         server = _start_telemetry(db, args)
         profiler = None
         if args.profile_out:
@@ -832,12 +1060,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 profiler = None
             _write_observability(db, args)
             _report_slow_log(db)
+            _finish_recorder(db)
             rc = 0 if report.slo_passed else 1
             if rc:
                 print("live SLO gate FAILED", file=sys.stderr)
+            rc = rc or _report_shadow(db, args)
         except BaseException:
             if profiler is not None:
                 db.disable_profiler()
+            db.disable_flight_recorder()
             _stop_telemetry(db, server)
             _close_metrics_sink(db, sink, error=True)
             raise

@@ -157,6 +157,10 @@ class Database:
         self.profiler = None
         #: Live HTTP scrape endpoint (see :meth:`serve_telemetry`).
         self.telemetry_server = None
+        #: Flight recorder capturing every executed query (see
+        #: :meth:`enable_flight_recorder`); ``None`` keeps the engine's
+        #: zero-overhead path.
+        self.flight_recorder = None
 
     # ------------------------------------------------------------------
     # Loading
@@ -330,6 +334,11 @@ class Database:
         self.data_version = record.epoch
         self.update_journal.append(record)
         self.metrics.inc(f"update.{record.kind}")
+        if self.flight_recorder is not None:
+            # Updates interleave with the query stream in the flight
+            # journal, so a replay can restore the exact data state
+            # each recorded query executed against.
+            self.flight_recorder.record_update(record)
 
     def min_weight_per_length(self) -> float:
         """Smallest ``weight / length`` ratio over all edges.
@@ -666,6 +675,36 @@ class Database:
         log, self.slow_query_log = self.slow_query_log, None
         if log is not None:
             log.close()
+
+    # ------------------------------------------------------------------
+    # Flight recorder
+    # ------------------------------------------------------------------
+    def enable_flight_recorder(
+        self, max_records: int = 4096, path=None
+    ):
+        """Install a :class:`~repro.obs.recorder.FlightRecorder`.
+
+        Every subsequent query execution is captured — full query
+        parameters, plan label + cost hints, result digest, latency
+        and stats snapshot — and every committed dynamic update is
+        journalled inline, so the capture replays deterministically
+        (``repro replay FILE``).  ``path`` streams the journal to a
+        JSON-lines file as it is written (``--record FILE`` on the
+        workload CLIs).  Thread-safe; composes with
+        ``execute_many(workers=N)`` and live ``/recorder`` scrapes.
+        """
+        from ..obs.recorder import FlightRecorder
+
+        self.flight_recorder = FlightRecorder(
+            max_records=max_records, path=path, metrics=self.metrics
+        )
+        return self.flight_recorder
+
+    def disable_flight_recorder(self) -> None:
+        """Detach and close the flight recorder, if one is installed."""
+        recorder, self.flight_recorder = self.flight_recorder, None
+        if recorder is not None:
+            recorder.close()
 
     # ------------------------------------------------------------------
     # Live telemetry: rollup, live SLO, profiler, HTTP endpoint

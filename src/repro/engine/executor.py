@@ -45,8 +45,10 @@ from ..core.ine import INEExpansion
 from ..core.knn import knn_search
 from ..core.queries import QueryStats, SKResult
 from ..errors import QueryError
-from ..network.distance import PairwiseDistanceComputer
+from ..network.distance import DISTANCE_BACKENDS, PairwiseDistanceComputer
 from ..obs.profiler import executing_plan
+from ..obs.recorder import result_digest
+from ..obs.tracing import NULL_TRACER
 from .context import ExecutionContext
 
 if TYPE_CHECKING:  # pragma: no cover — import cycle guard
@@ -74,18 +76,67 @@ class QueryEngine:
             raise ValueError("io_wait_latency must be non-negative")
         self.db = db
         self.io_wait_latency = io_wait_latency
+        #: Shadow-execution state (see :meth:`enable_shadow`): ``None``
+        #: keeps the zero-overhead path — one attribute read per query.
+        self.shadow_backend: Optional[str] = None
+        self.shadow_rate: float = 1.0
+        self._shadow_lock = threading.Lock()
+        self._shadow_counter = 0
+
+    # ------------------------------------------------------------------
+    # Shadow execution
+    # ------------------------------------------------------------------
+    def enable_shadow(self, backend: str, rate: float = 1.0) -> None:
+        """Run a sampled fraction of diversified queries twice.
+
+        Each sampled query is re-executed on ``backend`` inside the
+        same execution context right after its primary run; the two
+        :func:`~repro.obs.recorder.result_digest`\\ s are compared in
+        flight.  Matches count ``shadow.matches``; mismatches count
+        ``shadow.divergences`` (plus a per-plan-label
+        ``shadow.divergence#<label>`` counter) and are filed into the
+        slow-query log with both digests.  ``rate`` in ``(0, 1]`` is
+        the sampled fraction; sampling is **deterministic in the batch
+        index** (query ``i`` is sampled iff
+        ``floor((i+1)·rate) > floor(i·rate)``), so a recorded run
+        replays with the same shadow decisions regardless of worker
+        count or dispatch order.
+        """
+        backend = backend.lower()
+        if backend not in DISTANCE_BACKENDS:
+            raise QueryError(
+                f"unknown shadow backend {backend!r}; "
+                f"expected one of {DISTANCE_BACKENDS}"
+            )
+        if not 0.0 < rate <= 1.0:
+            raise QueryError("shadow rate must be in (0, 1]")
+        self.shadow_backend = backend
+        self.shadow_rate = rate
+
+    def disable_shadow(self) -> None:
+        self.shadow_backend = None
 
     # ------------------------------------------------------------------
     # Single-plan execution
     # ------------------------------------------------------------------
-    def execute(self, plan: "QueryPlan", tracer=None):
+    def execute(self, plan: "QueryPlan", tracer=None, sequence=None):
         """Run one plan; returns the kind-specific result object.
 
         ``tracer`` overrides the per-query tracer for this execution
         only (``repro explain`` uses this to trace one query without
         touching global state).
+
+        ``sequence`` is the query's index within its batch, when the
+        caller knows it.  It gives the query a dispatch-order-free
+        identity: the flight recorder stamps it into the captured
+        record (so replay aligns on it) and shadow sampling derives
+        its keep/skip decision from it — which is what makes a
+        recorded ``--workers N`` run replay with identical shadow
+        decisions.  Without one, a locked engine-lifetime counter
+        stands in (still deterministic serially).
         """
         ctx = ExecutionContext(self.db, plan, tracer)
+        shadow = None
         # Publish the plan label for the sampling profiler: stacks
         # sampled on this thread while the query runs are attributed
         # to e.g. "SIF/COM" (two dict writes per query — negligible).
@@ -101,6 +152,10 @@ class QueryEngine:
                     result = self._execute_diversified(plan, ctx)
                 else:  # pragma: no cover — QueryPlan validates kind
                     raise QueryError(f"unknown plan kind {plan.kind!r}")
+                if self.shadow_backend is not None and self._shadow_due(
+                    plan, result, sequence
+                ):
+                    shadow = self._execute_shadow(plan, result)
         except Exception:
             self.db._record_query_error(plan.kind, plan.label)
             raise
@@ -108,9 +163,119 @@ class QueryEngine:
         if kind == "diversified":
             kind = f"diversified/{plan.algorithm}"
         self.db._record_query(kind, plan.label, result.stats)
-        self._offer_slow_log(plan, result, ctx)
+        # The digest is only computed when someone will consume it —
+        # the recorder-off, shadow-off path stays digest-free.
+        recorder = getattr(self.db, "flight_recorder", None)
+        digest = None
+        if shadow is not None:
+            digest = shadow["primary_digest"]
+        elif recorder is not None:
+            digest = result_digest(result)
+        self._offer_slow_log(plan, result, ctx, digest=digest)
+        if recorder is not None:
+            recorder.record_query(
+                plan, result, digest,
+                sequence=sequence,
+                worker=threading.current_thread().name,
+                shadow=shadow,
+            )
         self._io_wait(result.stats)
         return result
+
+    def _shadow_due(self, plan, result, sequence) -> bool:
+        """Should this query get a shadow run?  (Cheap; engine hot path.)
+
+        Only diversified queries are shadowed (they are the paths with
+        backend-dependent machinery), and result-cache hits are skipped
+        — a cached answer exercised no backend, so re-checking it
+        audits nothing.
+        """
+        if plan.kind != "diversified":
+            return False
+        if result.stats.result_cache_hit:
+            return False
+        if sequence is None:
+            with self._shadow_lock:
+                sequence = self._shadow_counter
+                self._shadow_counter += 1
+        rate = self.shadow_rate
+        return int((sequence + 1) * rate) > int(sequence * rate)
+
+    def _shadow_oracle(self, backend: str):
+        """The distance oracle a shadow run uses (seam for fault
+        injection in tests; ``None`` = bounded Dijkstra)."""
+        if backend == "ch":
+            return self.db.ch_oracle()
+        if backend == "hub":
+            return self.db.hub_oracle()
+        return None
+
+    def _execute_shadow(self, plan, result):
+        """Re-run one diversified query on the shadow backend; compare.
+
+        Runs inside the primary query's execution context (same pinned
+        epoch, same data) but with a **private, cache-free** pairwise
+        computer — the audit must recompute distances, not read back
+        whatever the primary just cached.  The primary's stats are
+        already finalised; shadow work only lands on lifetime counters.
+        """
+        db = self.db
+        query = plan.query
+        backend_name = self.shadow_backend
+        pairwise = PairwiseDistanceComputer(
+            db.ccam,
+            db.network,
+            cutoff=2.0 * query.delta_max * 1.001,
+            cache=None,
+            tracer=NULL_TRACER,
+            backend=self._shadow_oracle(backend_name),
+        )
+        array_scoring = db.scoring_mode == "array"
+        if plan.algorithm == "seq":
+            shadow_result = seq_search(
+                db.ccam, db.network, plan.index, query,
+                pairwise=pairwise, tracer=NULL_TRACER,
+                array_scoring=array_scoring,
+            )
+        else:
+            shadow_result = com_search(
+                db.ccam, db.network, plan.index, query,
+                pairwise=pairwise,
+                enable_pruning=plan.enable_pruning,
+                landmarks=plan.landmarks,
+                tracer=NULL_TRACER,
+                array_scoring=array_scoring,
+            )
+        primary_digest = result_digest(result)
+        shadow_digest = result_digest(shadow_result)
+        match = primary_digest == shadow_digest
+        m = db.metrics
+        m.inc("shadow.executions")
+        if match:
+            m.inc("shadow.matches")
+        else:
+            m.inc("shadow.divergences")
+            m.inc(f"shadow.divergence#{plan.label}")
+            log = getattr(db, "slow_query_log", None)
+            if log is not None:
+                log.note({
+                    "type": "shadow_divergence",
+                    "label": plan.label,
+                    "algorithm": plan.algorithm,
+                    "primary_backend": db.distance_backend,
+                    "shadow_backend": backend_name,
+                    "primary_digest": primary_digest,
+                    "shadow_digest": shadow_digest,
+                    "primary_results": len(result),
+                    "shadow_results": len(shadow_result),
+                    "worker": threading.current_thread().name,
+                })
+        return {
+            "backend": backend_name,
+            "digest": shadow_digest,
+            "primary_digest": primary_digest,
+            "match": match,
+        }
 
     def _execute_sk(self, plan: "QueryPlan", ctx: ExecutionContext) -> SKResult:
         db = self.db
@@ -253,7 +418,8 @@ class QueryEngine:
         return result
 
     def _offer_slow_log(
-        self, plan: "QueryPlan", result, ctx: ExecutionContext
+        self, plan: "QueryPlan", result, ctx: ExecutionContext,
+        digest: Optional[str] = None,
     ) -> None:
         """Offer a finished query to the slow-query log, if installed.
 
@@ -272,6 +438,7 @@ class QueryEngine:
             results=len(result),
             trace=trace,
             worker=threading.current_thread().name,
+            digest=digest,
         )
 
     def _io_wait(self, stats: Optional[QueryStats]) -> None:
@@ -300,9 +467,18 @@ class QueryEngine:
         if workers < 1:
             raise QueryError("workers must be >= 1")
         plans = list(plans)
+        # Every plan carries its batch index: flight records and shadow
+        # sampling decisions are then functions of the batch position,
+        # identical between serial, concurrent and replayed runs.
         if workers == 1 or len(plans) <= 1:
-            return [self.execute(plan) for plan in plans]
+            return [
+                self.execute(plan, sequence=i)
+                for i, plan in enumerate(plans)
+            ]
         with ThreadPoolExecutor(
             max_workers=workers, thread_name_prefix="repro-query"
         ) as pool:
-            return list(pool.map(self.execute, plans))
+            return list(pool.map(
+                lambda pair: self.execute(pair[1], sequence=pair[0]),
+                enumerate(plans),
+            ))

@@ -354,6 +354,21 @@ class ExplainReport:
         #: set the rendered report closes with its SLOW/OK verdict.
         self.slow_threshold = slow_threshold
 
+    @property
+    def digest(self) -> Optional[str]:
+        """The result's flight-recorder digest, when a result is held.
+
+        The same :func:`repro.obs.recorder.result_digest` the flight
+        recorder and shadow execution compute — so an EXPLAIN of one
+        query is directly comparable against a captured flight record
+        or a divergence note, without re-running anything.
+        """
+        if self.result is None or not hasattr(self.result, "items"):
+            return None
+        from .recorder import result_digest
+
+        return result_digest(self.result)
+
     # -- structured access (tests) ------------------------------------
     def spans(self, name: str) -> List[Span]:
         """Every span named ``name`` in the trace, depth-first."""
@@ -429,6 +444,12 @@ class ExplainReport:
                     f"({row['share'] * 100:.0f}%)"
                 )
             parts.append("\n".join(lines))
+        digest = self.digest
+        if digest is not None:
+            parts.append(
+                f"result digest: {digest} "
+                f"({len(self.result.items)} results)"
+            )
         verdict = self.slow_verdict()
         if verdict is not None:
             parts.append(f"slow-query verdict: {verdict}")

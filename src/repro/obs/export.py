@@ -392,6 +392,14 @@ def database_gauges(db) -> Dict[str, float]:
         gauges["updates.journal_length"] = float(len(journal))
         for kind, count in journal.counts().items():
             gauges[f"updates.{kind}"] = float(count)
+    recorder = getattr(db, "flight_recorder", None)
+    if recorder is not None:
+        stats = recorder.summary()
+        gauges["recorder.observed"] = float(stats["observed"])
+        gauges["recorder.buffered"] = float(stats["buffered"])
+        gauges["recorder.dropped"] = float(stats["dropped"])
+        gauges["recorder.updates"] = float(stats["updates"])
+        gauges["recorder.max_records"] = float(stats["max_records"])
     result_cache = getattr(db, "result_cache", None)
     if result_cache is not None:
         stats = result_cache.stats()

@@ -27,6 +27,9 @@ Routes
                format) when a profiler is attached.
 ``/slo``       evaluates the live SLO monitor against the current
                window and returns its verdict.
+``/recorder``  the flight recorder's ring and summary as JSON
+               (``?limit=N``; stats snapshots stripped unless
+               ``?stats=1``) when one is installed.
 
 Every hit counts ``telemetry.scrapes`` plus a per-route
 ``telemetry.scrape#<route>`` labelled counter, so the scrape traffic
@@ -150,6 +153,7 @@ class TelemetryServer:
             "/slowlog": self._slowlog,
             "/profile": self._profile,
             "/slo": self._slo,
+            "/recorder": self._recorder,
         }.get(route)
         if handler is None:
             return 404, _TEXT, f"no such route {path!r}\n".encode()
@@ -163,9 +167,10 @@ class TelemetryServer:
 
     # -- routes --------------------------------------------------------
     def _index(self, query) -> Tuple[int, str, bytes]:
-        routes = "\n".join(
-            ("/metrics", "/healthz", "/vars", "/slowlog", "/profile", "/slo")
-        )
+        routes = "\n".join((
+            "/metrics", "/healthz", "/vars", "/slowlog", "/profile",
+            "/slo", "/recorder",
+        ))
         return 200, _TEXT, (routes + "\n").encode()
 
     def _metrics(self, query) -> Tuple[int, str, bytes]:
@@ -238,3 +243,28 @@ class TelemetryServer:
             return 404, _TEXT, b"no live SLO monitor installed\n"
         monitor.evaluate()
         return self._json(monitor.verdict())
+
+    def _recorder(self, query) -> Tuple[int, str, bytes]:
+        recorder = getattr(self.db, "flight_recorder", None)
+        if recorder is None:
+            return self._json({"installed": False, "records": []})
+        records = recorder.records()
+        limit = query.get("limit")
+        if limit:
+            try:
+                records = records[-int(limit[0]):]
+            except ValueError:
+                return 400, _TEXT, b"limit must be an integer\n"
+        want_stats = query.get("stats", ["0"])[0] not in ("0", "", "false")
+        if not want_stats:
+            # Stats snapshots dwarf the rest of a flight record; strip
+            # them by default, like /slowlog strips span trees.
+            records = [
+                {k: v for k, v in record.items() if k != "stats"}
+                for record in records
+            ]
+        return self._json({
+            "installed": True,
+            "summary": recorder.summary(),
+            "records": records,
+        })

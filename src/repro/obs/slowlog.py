@@ -35,6 +35,7 @@ __all__ = [
     "stats_to_dict",
     "render_record",
     "render_breach_record",
+    "render_divergence_record",
 ]
 
 
@@ -187,8 +188,14 @@ class SlowQueryLog:
         results: int = 0,
         trace: Optional[Span] = None,
         worker: str = "",
+        digest: Optional[str] = None,
     ) -> Optional[Dict[str, Any]]:
         """Judge one finished query; capture and return it when slow.
+
+        ``digest`` optionally attaches the query's result digest (see
+        :func:`repro.obs.recorder.result_digest`) — present whenever
+        the flight recorder or shadow execution computed one, so two
+        divergent captures are diffable without re-running anything.
 
         Returns the captured record dict, or ``None`` for fast queries.
         """
@@ -216,6 +223,8 @@ class SlowQueryLog:
                 "stats": stats_to_dict(stats),
                 "trace": trace.to_dict() if trace is not None else None,
             }
+            if digest is not None:
+                record["digest"] = digest
             if len(self._records) >= self.max_records:
                 self._records.pop(0)
                 self.dropped += 1
@@ -288,6 +297,29 @@ def render_breach_record(record: Dict[str, Any]) -> str:
     return "\n".join(lines)
 
 
+def render_divergence_record(record: Dict[str, Any]) -> str:
+    """Narrate one ``shadow_divergence`` note (from shadow execution).
+
+    Both digests are shown so the two answers are diffable straight
+    from the log — no re-execution needed to see *that* they differ
+    and by how many results.
+    """
+    header = (
+        f"SHADOW DIVERGENCE  [{record.get('label', '?')}]  "
+        f"{record.get('primary_backend', '?')} vs "
+        f"{record.get('shadow_backend', '?')} "
+        f"(worker {record.get('worker') or '?'})"
+    )
+    lines = [
+        header,
+        f"  primary digest: {record.get('primary_digest', '?')} "
+        f"({record.get('primary_results', '?')} results)",
+        f"  shadow digest:  {record.get('shadow_digest', '?')} "
+        f"({record.get('shadow_results', '?')} results)",
+    ]
+    return "\n".join(lines)
+
+
 def render_record(record: Dict[str, Any]) -> str:
     """Narrate one slow-query record (the ``repro slowlog`` renderer).
 
@@ -305,6 +337,8 @@ def render_record(record: Dict[str, Any]) -> str:
 
     if record.get("type") == "slo_breach":
         return render_breach_record(record)
+    if record.get("type") == "shadow_divergence":
+        return render_divergence_record(record)
     stats = record.get("stats") or {}
     wall_ms = record.get("wall_seconds", 0.0) * 1e3
     header = (
@@ -319,6 +353,8 @@ def render_record(record: Dict[str, Any]) -> str:
         header += f"  [epoch {epoch}]"
     if stats.get("result_cache_hit"):
         header += "  [result-cache HIT]"
+    if record.get("digest"):
+        header += f"  [digest {record['digest']}]"
     lines = [header]
     rendered_trace = None
     trace = record.get("trace")

@@ -195,11 +195,15 @@ def run_loadtest(
     lock = threading.Lock()
     interval = 1.0 / config.qps
 
-    def _run_one(plan, intended: float) -> None:
+    def _run_one(plan, intended: float, sequence: int) -> None:
         start = clock()
         error = False
         try:
-            db.engine.execute(plan)
+            # The send index is the query's identity: flight records
+            # and shadow-sampling decisions derive from it rather than
+            # from a shared counter consumed in dispatch order, so a
+            # recorded run replays identically under any --workers N.
+            db.engine.execute(plan, sequence=sequence)
         except Exception:  # noqa: BLE001 — the driver must keep pace
             error = True
         end = clock()
@@ -231,7 +235,7 @@ def run_loadtest(
             # measurement, not an omission.
             if intended > now:
                 time.sleep(intended - now)
-            pool.submit(_run_one, plan, intended)
+            pool.submit(_run_one, plan, intended, i)
             report.sent += 1
             if monitor is not None and clock() >= next_tick:
                 monitor.evaluate()

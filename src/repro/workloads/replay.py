@@ -1,0 +1,441 @@
+"""Deterministic replay of a captured flight-recorder journal.
+
+The flight recorder (:mod:`repro.obs.recorder`) journals every
+executed query — parameters, plan label, data epoch, result digest,
+invariant counters — with committed dynamic updates interleaved.
+This module re-executes that journal from scratch and diffs the
+outcome against the recording:
+
+* queries are **re-planned from their recorded parameters** (position,
+  terms, δmax, k, λ), with the recorded algorithm pinned so the
+  planner's cost model cannot silently reroute them;
+* updates are re-applied **between epoch groups**, restoring the exact
+  ``data_version`` each recorded query executed against (object ids
+  are sequential, so replayed inserts reproduce the recorded ids — and
+  that is asserted, not assumed);
+* each replayed result's :func:`~repro.obs.recorder.result_digest` and
+  invariant counters (result count, candidates, objective) are diffed
+  against the recording, accumulating into a
+  :class:`ReplayReport` with a per-plan-label breakdown.
+
+Run unchanged, replay proves determinism.  Run with a different
+distance backend, scoring mode or worker count (``repro replay FILE
+--backend hub --workers 4``), it is a cross-backend / concurrency
+audit: any digest that moves is a real divergence, localised to a
+plan label and a journal sequence number.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from ..core.knn import SKkNNQuery
+from ..core.queries import DiversifiedSKQuery, SKQuery
+from ..engine.plan import plan_diversified, plan_knn, plan_sk
+from ..errors import QueryError
+from ..network.graph import NetworkPosition
+from ..obs.recorder import DIGEST_PRECISION, result_digest
+
+__all__ = [
+    "FlightJournal",
+    "ReplayConfig",
+    "ReplayDivergence",
+    "ReplayReport",
+    "load_flight_journal",
+    "run_replay",
+]
+
+#: Recorded ``index`` field (the index's display name) → the
+#: :meth:`Database.build_index` kind that rebuilds it.
+INDEX_KIND_BY_NAME = {
+    "CCAM": "ccam",
+    "IR": "ir",
+    "IF": "if",
+    "SIF": "sif",
+    "SIF-P": "sif-p",
+    "SIF-G": "sif-g",
+}
+
+#: Invariant counters replay compares (beyond the digest), skipped for
+#: result-cache hits — a cached answer legitimately did no expansion.
+_INVARIANT_STATS = ("candidates", "nodes_accessed")
+
+
+@dataclass
+class FlightJournal:
+    """One parsed journal: header + query records + update records."""
+
+    header: Optional[Dict[str, Any]] = None
+    queries: List[Dict[str, Any]] = field(default_factory=list)
+    updates: List[Dict[str, Any]] = field(default_factory=list)
+    #: Malformed/unknown lines skipped while parsing.
+    skipped: int = 0
+
+    def __len__(self) -> int:
+        return len(self.queries) + len(self.updates)
+
+
+def load_flight_journal(path) -> FlightJournal:
+    """Parse a ``--record`` JSON-lines file into a :class:`FlightJournal`.
+
+    Unknown record types (metric snapshots, slowlog entries — journals
+    may share a sink) and malformed lines are counted, not fatal, so a
+    journal truncated by a killed run still replays its valid prefix.
+    """
+    journal = FlightJournal()
+    path = Path(path)
+    with path.open(encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                journal.skipped += 1
+                continue
+            kind = record.get("type") if isinstance(record, dict) else None
+            if kind == "flight_header":
+                journal.header = record
+            elif kind == "flight":
+                journal.queries.append(record)
+            elif kind == "flight_update":
+                journal.updates.append(record)
+            else:
+                journal.skipped += 1
+    return journal
+
+
+@dataclass(frozen=True)
+class ReplayConfig:
+    """Knobs of one replay run (``None`` = use the recorded value)."""
+
+    backend: Optional[str] = None
+    scoring: Optional[str] = None
+    workers: int = 1
+    limit: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise QueryError("workers must be >= 1")
+        if self.limit is not None and self.limit < 1:
+            raise QueryError("limit must be >= 1")
+
+
+@dataclass
+class ReplayDivergence:
+    """One field of one record that replayed differently."""
+
+    seq: Any
+    label: str
+    fieldname: str
+    recorded: Any
+    replayed: Any
+
+    def render(self) -> str:
+        return (
+            f"DIVERGENCE  [{self.label}]  record #{self.seq}: "
+            f"{self.fieldname} recorded={self.recorded!r} "
+            f"replayed={self.replayed!r}"
+        )
+
+
+@dataclass
+class ReplayReport:
+    """The verdict of one replay run, with a per-label breakdown."""
+
+    journal_path: str = ""
+    backend: str = ""
+    scoring: str = ""
+    workers: int = 1
+    queries_replayed: int = 0
+    updates_applied: Dict[str, int] = field(default_factory=dict)
+    divergences: List[ReplayDivergence] = field(default_factory=list)
+    #: label -> {"replayed": n, "diverged": m}
+    per_label: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    skipped_lines: int = 0
+    wall_seconds: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return not self.divergences
+
+    def _label_slot(self, label: str) -> Dict[str, int]:
+        return self.per_label.setdefault(
+            label, {"replayed": 0, "diverged": 0}
+        )
+
+    def diverge(
+        self, seq, label: str, fieldname: str, recorded, replayed
+    ) -> None:
+        self.divergences.append(ReplayDivergence(
+            seq=seq, label=label, fieldname=fieldname,
+            recorded=recorded, replayed=replayed,
+        ))
+
+    def row(self) -> Dict[str, Any]:
+        return {
+            "journal": self.journal_path,
+            "backend": self.backend,
+            "scoring": self.scoring,
+            "workers": self.workers,
+            "queries": self.queries_replayed,
+            "updates": sum(self.updates_applied.values()),
+            "divergences": len(self.divergences),
+            "verdict": "PASS" if self.passed else "FAIL",
+            "wall_s": round(self.wall_seconds, 3),
+        }
+
+    def render(self) -> str:
+        updates = sum(self.updates_applied.values())
+        update_mix = ", ".join(
+            f"{kind} {count}"
+            for kind, count in sorted(self.updates_applied.items())
+        ) or "none"
+        lines = [
+            f"REPLAY  {self.journal_path}  "
+            f"(backend={self.backend}, scoring={self.scoring}, "
+            f"workers={self.workers})",
+            f"  {self.queries_replayed} queries re-executed, "
+            f"{updates} updates re-applied ({update_mix}) "
+            f"in {self.wall_seconds:.3f}s",
+        ]
+        if self.skipped_lines:
+            lines.append(
+                f"  warning: {self.skipped_lines} journal line(s) "
+                "skipped (malformed or foreign record types)"
+            )
+        lines.append("  per plan label:")
+        for label in sorted(self.per_label):
+            slot = self.per_label[label]
+            lines.append(
+                f"    {label}: {slot['replayed']} replayed, "
+                f"{slot['diverged']} diverged"
+            )
+        for divergence in self.divergences[:50]:
+            lines.append("  " + divergence.render())
+        if len(self.divergences) > 50:
+            lines.append(
+                f"  ... {len(self.divergences) - 50} more divergences"
+            )
+        lines.append(
+            f"  verdict: "
+            + ("PASS — zero divergences" if self.passed else
+               f"FAIL — {len(self.divergences)} divergence(s)")
+        )
+        return "\n".join(lines)
+
+    def summary_record(self) -> Dict[str, Any]:
+        return {
+            "type": "replay",
+            "row": self.row(),
+            "per_label": {k: dict(v) for k, v in self.per_label.items()},
+            "divergences": [
+                {
+                    "seq": d.seq, "label": d.label, "field": d.fieldname,
+                    "recorded": d.recorded, "replayed": d.replayed,
+                }
+                for d in self.divergences
+            ],
+        }
+
+
+def _rebuild_query(record: Dict[str, Any]):
+    """Reconstruct the query object from its recorded parameters."""
+    params = record["query"]
+    position = NetworkPosition(
+        params["position"]["edge_id"], params["position"]["offset"]
+    )
+    terms = frozenset(params["terms"])
+    kind = record["kind"]
+    if kind == "diversified":
+        return DiversifiedSKQuery(
+            position=position,
+            terms=terms,
+            delta_max=params["delta_max"],
+            k=params["k"],
+            lambda_=params.get("lambda", 0.8),
+        )
+    if kind == "knn":
+        return SKkNNQuery(
+            position=position,
+            terms=terms,
+            k=params["k"],
+            horizon=params.get("horizon", 1e9),
+            initial_radius=params.get("initial_radius"),
+        )
+    return SKQuery(
+        position=position, terms=terms, delta_max=params["delta_max"]
+    )
+
+
+def _build_plan(db, index, record: Dict[str, Any]):
+    query = _rebuild_query(record)
+    kind = record["kind"]
+    if kind == "diversified":
+        # Pin the recorded algorithm: replay must compare like against
+        # like even if data drift would flip the planner's SEQ/COM
+        # choice.
+        return plan_diversified(db, index, query, method=record["algorithm"])
+    if kind == "knn":
+        return plan_knn(db, index, query)
+    return plan_sk(db, index, query)
+
+
+def _apply_update(
+    db, indexes: Dict[str, Any], record: Dict[str, Any], report: ReplayReport
+) -> None:
+    """Re-apply one journalled update to the db and every live index."""
+    kind = record["kind"]
+    targets = tuple(indexes.values())
+    if kind == "insert":
+        position = NetworkPosition(
+            record["position"]["edge_id"], record["position"]["offset"]
+        )
+        obj = db.insert_object(
+            position, frozenset(record.get("terms", ())), indexes=targets
+        )
+        recorded_id = record.get("object_id")
+        if recorded_id is not None and obj.object_id != recorded_id:
+            report.diverge(
+                f"epoch {record['epoch']}", "journal", "insert_object_id",
+                recorded_id, obj.object_id,
+            )
+    elif kind == "delete":
+        db.delete_object(record["object_id"], indexes=targets)
+    elif kind == "edge_weight":
+        db.update_edge_weight(
+            record["edge_id"], record["weight"], indexes=targets
+        )
+    else:
+        raise QueryError(f"unknown journalled update kind {kind!r}")
+    report.updates_applied[kind] = report.updates_applied.get(kind, 0) + 1
+
+
+def _compare(record: Dict[str, Any], result, report: ReplayReport) -> None:
+    """Diff one replayed result against its recording."""
+    seq = record.get("seq", "?")
+    label = record.get("label", "?")
+    slot = report._label_slot(label)
+    slot["replayed"] += 1
+    before = len(report.divergences)
+    digest = result_digest(result)
+    if digest != record.get("digest"):
+        report.diverge(seq, label, "digest", record.get("digest"), digest)
+    if len(result) != record.get("results"):
+        report.diverge(
+            seq, label, "results", record.get("results"), len(result)
+        )
+    recorded_objective = record.get("objective")
+    objective = getattr(result, "objective_value", None)
+    if recorded_objective is not None and objective is not None:
+        if round(objective, DIGEST_PRECISION) != recorded_objective:
+            report.diverge(
+                seq, label, "objective",
+                recorded_objective, round(objective, DIGEST_PRECISION),
+            )
+    # Invariant counters: identical answers via different machinery
+    # are fine (that is the point of --backend overrides), but the
+    # *search shape* must match when nothing was overridden — and for
+    # candidates/nodes it matches across backends too, because backend
+    # choice only changes pairwise evaluation, not INE expansion.
+    # Result-cache hits did no expansion; skip them.
+    recorded_stats = record.get("stats") or {}
+    if not record.get("result_cache_hit") and not getattr(
+        result.stats, "result_cache_hit", False
+    ):
+        for name in _INVARIANT_STATS:
+            recorded = recorded_stats.get(name)
+            replayed = getattr(result.stats, name, None)
+            if recorded is not None and replayed != recorded:
+                report.diverge(seq, label, name, recorded, replayed)
+    if len(report.divergences) > before:
+        slot["diverged"] += 1
+
+
+def run_replay(
+    db,
+    journal: FlightJournal,
+    config: ReplayConfig = ReplayConfig(),
+    journal_path: str = "",
+) -> ReplayReport:
+    """Re-execute a parsed journal against ``db``; diff everything.
+
+    ``db`` must be freshly built from the journal header's dataset
+    profile (the CLI does this), with any backend/scoring overrides
+    already applied.  Queries are grouped by their recorded epoch;
+    journalled updates are re-applied between groups so every query
+    runs against the same ``data_version`` it was recorded at.  Within
+    an epoch group queries execute through
+    ``db.engine.execute_many(workers=config.workers)`` — read-only, so
+    worker count cannot change answers (and the report will prove it).
+    """
+    report = ReplayReport(
+        journal_path=journal_path,
+        backend=db.distance_backend,
+        scoring=db.scoring_mode,
+        workers=config.workers,
+        skipped_lines=journal.skipped,
+    )
+    started = time.perf_counter()
+    queries = journal.queries
+    if config.limit is not None:
+        queries = queries[:config.limit]
+    updates = sorted(journal.updates, key=lambda r: r["epoch"])
+
+    # Group query records by recorded epoch, preserving journal order
+    # within each group.
+    groups: Dict[int, List[Dict[str, Any]]] = {}
+    for record in queries:
+        groups.setdefault(record.get("epoch", 0), []).append(record)
+
+    indexes: Dict[str, Any] = {}
+
+    def index_for(name: str):
+        if name not in indexes:
+            kind = INDEX_KIND_BY_NAME.get(name)
+            if kind is None:
+                raise QueryError(
+                    f"journal names unknown index {name!r}; "
+                    f"expected one of {sorted(INDEX_KIND_BY_NAME)}"
+                )
+            indexes[name] = db.build_index(kind)
+        return indexes[name]
+
+    # Build every index the journal mentions *before* replaying any
+    # update: recorded updates were applied to live indexes, so the
+    # rebuilt ones must see the same maintenance stream.
+    for record in queries:
+        index_for(record["index"])
+
+    cursor = 0
+    for epoch in sorted(groups):
+        while cursor < len(updates) and updates[cursor]["epoch"] <= epoch:
+            _apply_update(db, indexes, updates[cursor], report)
+            cursor += 1
+        if db.data_version != epoch:
+            report.diverge(
+                f"epoch group {epoch}", "journal", "data_version",
+                epoch, db.data_version,
+            )
+        group = groups[epoch]
+        plans = [
+            _build_plan(db, index_for(record["index"]), record)
+            for record in group
+        ]
+        results = db.engine.execute_many(plans, workers=config.workers)
+        for record, result in zip(group, results):
+            _compare(record, result, report)
+            report.queries_replayed += 1
+    # Trailing updates (after the last recorded query) still replay, so
+    # the journal's full update stream is validated.
+    while cursor < len(updates):
+        _apply_update(db, indexes, updates[cursor], report)
+        cursor += 1
+    report.wall_seconds = time.perf_counter() - started
+    db.metrics.emit(report.summary_record())
+    return report

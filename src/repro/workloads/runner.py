@@ -260,11 +260,14 @@ def run_sk_workload(
         plans = [plan_sk(db, index, q) for q in queries]
         _run_plans(db, plans, report, workers)
     else:
+        # Serial runs still execute plans with their batch index so
+        # flight records carry the same ``sequence`` identity either
+        # way (a recorded serial run replays under any worker count).
         t0 = time.perf_counter()
-        for query in queries:
+        for i, query in enumerate(queries):
             if cold_buffer:
                 db.disk.clear_buffer()
-            result = db.sk_search(index, query)
+            result = db.engine.execute(plan_sk(db, index, query), sequence=i)
             report.record(result.stats, len(result))
         report.wall_clock_seconds = time.perf_counter() - t0
     db.metrics.emit(report.summary_record())
@@ -304,12 +307,17 @@ def run_diversified_workload(
         ]
         _run_plans(db, plans, report, workers)
     else:
+        # Same sequence-stamped path as run_sk_workload's serial branch.
         t0 = time.perf_counter()
-        for query in queries:
+        for i, query in enumerate(queries):
             if cold_buffer:
                 db.disk.clear_buffer()
-            result = db.diversified_search(
-                index, query, method=method, enable_pruning=enable_pruning
+            result = db.engine.execute(
+                plan_diversified(
+                    db, index, query,
+                    method=method, enable_pruning=enable_pruning,
+                ),
+                sequence=i,
             )
             report.record(result.stats, len(result))
         report.wall_clock_seconds = time.perf_counter() - t0

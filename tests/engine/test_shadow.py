@@ -1,0 +1,220 @@
+"""Shadow-backend execution: in-flight divergence auditing."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engine.plan import plan_diversified, plan_sk
+from repro.errors import QueryError
+from repro.workloads.queries import (
+    WorkloadConfig,
+    generate_diversified_queries,
+    generate_sk_queries,
+)
+
+
+@pytest.fixture()
+def shadowed_db(tiny_db):
+    """The shared database; shadow/recorder state restored afterwards."""
+    yield tiny_db
+    tiny_db.engine.disable_shadow()
+    tiny_db.disable_flight_recorder()
+    tiny_db.disable_slow_query_log()
+
+
+def _plans(db, index, n=5, method="seq", seed=31):
+    queries = generate_diversified_queries(
+        db, WorkloadConfig(num_queries=n, num_keywords=2, k=4, seed=seed)
+    )
+    return [
+        plan_diversified(db, index, query, method=method)
+        for query in queries
+    ]
+
+
+def _delta(db, before, name):
+    return db.metrics.counters().get(name, 0) - before.get(name, 0)
+
+
+class PerturbingBackend:
+    """A faulty oracle: every finite distance drifts by a relative
+    epsilon far above digest rounding — the injected fault the shadow
+    audit (and replay) must catch."""
+
+    name = "perturbed"
+
+    def __init__(self, inner, epsilon: float = 1e-3) -> None:
+        self.inner = inner
+        self.epsilon = epsilon
+
+    def _warp(self, value: float) -> float:
+        if not math.isfinite(value) or value == 0.0:
+            return value
+        return value * (1.0 + self.epsilon)
+
+    def position_distance(self, a, b, cutoff=math.inf, counters=None):
+        return self._warp(
+            self.inner.position_distance(a, b, cutoff, counters)
+        )
+
+    def position_matrix(self, positions, cutoff=math.inf, counters=None):
+        matrix = self.inner.position_matrix(positions, cutoff, counters)
+        return {key: self._warp(value) for key, value in matrix.items()}
+
+
+class TestEnableShadow:
+    def test_unknown_backend_rejected(self, shadowed_db):
+        with pytest.raises(QueryError):
+            shadowed_db.engine.enable_shadow("astar")
+
+    def test_bad_rate_rejected(self, shadowed_db):
+        for rate in (0.0, -0.5, 1.5):
+            with pytest.raises(QueryError):
+                shadowed_db.engine.enable_shadow("ch", rate=rate)
+
+    def test_disable_clears_state(self, shadowed_db):
+        engine = shadowed_db.engine
+        engine.enable_shadow("ch", rate=0.25)
+        engine.disable_shadow()
+        assert engine.shadow_backend is None
+
+
+class TestShadowExecution:
+    @pytest.mark.parametrize("backend", ["ch", "hub"])
+    @pytest.mark.parametrize("method", ["seq", "com"])
+    def test_backends_agree_on_live_traffic(
+        self, shadowed_db, tiny_indexes, backend, method
+    ):
+        db = shadowed_db
+        before = db.metrics.counters()
+        db.engine.enable_shadow(backend, rate=1.0)
+        for i, plan in enumerate(_plans(db, tiny_indexes["sif"],
+                                        method=method)):
+            db.engine.execute(plan, sequence=i)
+        assert _delta(db, before, "shadow.executions") == 5
+        assert _delta(db, before, "shadow.matches") == 5
+        assert _delta(db, before, "shadow.divergences") == 0
+
+    def test_shadow_outcome_lands_in_flight_record(
+        self, shadowed_db, tiny_indexes
+    ):
+        db = shadowed_db
+        recorder = db.enable_flight_recorder()
+        db.engine.enable_shadow("ch", rate=1.0)
+        for i, plan in enumerate(_plans(db, tiny_indexes["sif"], n=2)):
+            db.engine.execute(plan, sequence=i)
+        for record in recorder.records():
+            shadow = record["shadow"]
+            assert shadow["backend"] == "ch"
+            assert shadow["match"] is True
+            assert shadow["digest"] == shadow["primary_digest"]
+            assert record["digest"] == shadow["primary_digest"]
+
+    def test_sk_queries_not_shadowed(self, shadowed_db, tiny_indexes):
+        db = shadowed_db
+        before = db.metrics.counters()
+        db.engine.enable_shadow("ch", rate=1.0)
+        queries = generate_sk_queries(
+            db, WorkloadConfig(num_queries=3, num_keywords=2, seed=31)
+        )
+        for query in queries:
+            db.engine.execute(plan_sk(db, tiny_indexes["sif"], query))
+        assert _delta(db, before, "shadow.executions") == 0
+
+    def test_result_cache_hits_not_shadowed(self, grid_network9):
+        from repro import Database, NetworkPosition
+        from repro.core.queries import DiversifiedSKQuery
+
+        db = Database(grid_network9, buffer_pages=64)
+        db.add_object(NetworkPosition(0, 20.0), {"pizza"})
+        db.add_object(NetworkPosition(3, 50.0), {"pizza", "bar"})
+        db.freeze()
+        db.use_result_cache(max_entries=8)
+        db.engine.enable_shadow("ch", rate=1.0)
+        index = db.build_index("sif")
+        query = DiversifiedSKQuery.create(
+            NetworkPosition(0, 0.0), ["pizza"], 500.0, 2, 0.8
+        )
+        db.engine.execute(plan_diversified(db, index, query, method="seq"))
+        db.engine.execute(plan_diversified(db, index, query, method="seq"))
+        counters = db.metrics.counters()
+        assert counters["query.result_cache_hits"] == 1
+        # Only the cache-missing first execution was audited.
+        assert counters["shadow.executions"] == 1
+
+
+class TestShadowSampling:
+    def test_rate_samples_deterministically_by_sequence(
+        self, shadowed_db, tiny_indexes
+    ):
+        db = shadowed_db
+        db.engine.enable_shadow("ch", rate=0.5)
+        plans = _plans(db, tiny_indexes["sif"], n=10)
+        before = db.metrics.counters()
+        for i, plan in enumerate(plans):
+            db.engine.execute(plan, sequence=i)
+        serial = _delta(db, before, "shadow.executions")
+        assert serial == 5  # int((i+1)*r) > int(i*r) at i = 1,3,5,7,9
+        # The same batch under 4 workers makes identical decisions:
+        # sampling derives from each query's batch index, not from a
+        # shared counter consumed in dispatch order.
+        before = db.metrics.counters()
+        db.engine.execute_many(_plans(db, tiny_indexes["sif"], n=10),
+                               workers=4)
+        assert _delta(db, before, "shadow.executions") == serial
+
+    def test_full_rate_audits_everything(self, shadowed_db, tiny_indexes):
+        db = shadowed_db
+        db.engine.enable_shadow("ch", rate=1.0)
+        before = db.metrics.counters()
+        db.engine.execute_many(_plans(db, tiny_indexes["sif"], n=6),
+                               workers=3)
+        assert _delta(db, before, "shadow.executions") == 6
+
+
+class TestShadowDivergence:
+    def test_perturbed_oracle_caught(
+        self, shadowed_db, tiny_indexes, monkeypatch
+    ):
+        db = shadowed_db
+        db.enable_slow_query_log(latency_seconds=3600.0)
+        db.engine.enable_shadow("ch", rate=1.0)
+        monkeypatch.setattr(
+            db.engine, "_shadow_oracle",
+            lambda backend: PerturbingBackend(db.ch_oracle()),
+        )
+        before = db.metrics.counters()
+        plans = _plans(db, tiny_indexes["sif"], n=3)
+        for i, plan in enumerate(plans):
+            db.engine.execute(plan, sequence=i)
+        diverged = _delta(db, before, "shadow.divergences")
+        assert diverged > 0
+        assert _delta(db, before, "shadow.divergence#SIF/SEQ") == diverged
+        notes = [
+            r for r in db.slow_query_log.records()
+            if r.get("type") == "shadow_divergence"
+        ]
+        assert len(notes) == diverged
+        for note in notes:
+            assert note["shadow_backend"] == "ch"
+            assert note["primary_digest"] != note["shadow_digest"]
+
+    def test_divergence_renders_in_slowlog(self, shadowed_db):
+        from repro.obs.slowlog import render_record
+
+        text = render_record({
+            "type": "shadow_divergence",
+            "label": "SIF/SEQ",
+            "algorithm": "seq",
+            "primary_backend": "dijkstra",
+            "shadow_backend": "ch",
+            "primary_digest": "aaaa",
+            "shadow_digest": "bbbb",
+            "primary_results": 4,
+            "shadow_results": 4,
+            "worker": "w0",
+        })
+        assert "SHADOW DIVERGENCE" in text
+        assert "aaaa" in text and "bbbb" in text

@@ -470,6 +470,147 @@ class TestTelemetryFlag:
         assert "Telemetry: http://127.0.0.1:" in err
 
 
+class TestFlagValidation:
+    def test_rate_flags_rejected_at_parse_time(self):
+        bad = [
+            ["loadtest", "SYN", "--qps", "0"],
+            ["loadtest", "SYN", "--qps", "-5"],
+            ["loadtest", "SYN", "--duration", "0"],
+            ["loadtest", "SYN", "--profile-hz", "0"],
+            ["loadtest", "SYN", "--profile-hz", "nan"],
+            ["loadtest", "SYN", "--telemetry-port", "70000"],
+            ["diversify", "SYN", "--shadow-rate", "0"],
+            ["diversify", "SYN", "--shadow-rate", "1.5"],
+        ]
+        for argv in bad:
+            with pytest.raises(SystemExit) as err:
+                build_parser().parse_args(argv)
+            assert err.value.code == 2, argv
+
+    def test_valid_rates_accepted(self):
+        args = build_parser().parse_args([
+            "loadtest", "SYN", "--qps", "12.5", "--duration", "0.5",
+            "--profile-hz", "97",
+        ])
+        assert args.qps == 12.5
+        args = build_parser().parse_args([
+            "diversify", "SYN", "--shadow-backend", "ch",
+            "--shadow-rate", "0.25",
+        ])
+        assert args.shadow_rate == 0.25
+
+
+class TestFlightRecorderCLI:
+    def test_record_then_replay_roundtrip(self, tmp_path, capsys):
+        journal = tmp_path / "flight.jsonl"
+        assert main([
+            "diversify", "SYN", "--scale", "0.05", "--queries", "3",
+            "--keywords", "2", "--k", "4", "--record", str(journal),
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "Flight recorder: captured 6 queries" in err
+        lines = [
+            json.loads(line) for line in journal.read_text().splitlines()
+        ]
+        assert lines[0]["type"] == "flight_header"
+        assert lines[0]["profile"] == "SYN"
+
+        assert main(["replay", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "verdict: PASS — zero divergences" in out
+
+    def test_replay_with_backend_override(self, tmp_path, capsys):
+        journal = tmp_path / "flight.jsonl"
+        assert main([
+            "diversify", "SYN", "--scale", "0.05", "--queries", "2",
+            "--keywords", "2", "--k", "4", "--record", str(journal),
+        ]) == 0
+        assert main([
+            "replay", str(journal), "--backend", "ch",
+            "--scoring", "scalar", "--workers", "2",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "backend=ch" in out
+        assert "scoring=scalar" in out
+        assert "verdict: PASS" in out
+
+    def test_replay_catches_tampered_journal(self, tmp_path, capsys):
+        journal = tmp_path / "flight.jsonl"
+        assert main([
+            "diversify", "SYN", "--scale", "0.05", "--queries", "2",
+            "--keywords", "2", "--k", "4", "--record", str(journal),
+        ]) == 0
+        lines = journal.read_text().splitlines()
+        tampered = []
+        for line in lines:
+            record = json.loads(line)
+            if record["type"] == "flight" and record["sequence"] == 0:
+                record["digest"] = "f" * 16
+            tampered.append(json.dumps(record))
+        journal.write_text("\n".join(tampered) + "\n")
+        assert main(["replay", str(journal)]) == 1
+        out = capsys.readouterr().out
+        assert "FAIL" in out
+        assert "DIVERGENCE" in out
+
+    def test_replay_missing_file(self, tmp_path):
+        assert main(["replay", str(tmp_path / "absent.jsonl")]) == 1
+
+    def test_replay_headerless_journal(self, tmp_path, capsys):
+        path = tmp_path / "bare.jsonl"
+        path.write_text(json.dumps({"type": "flight"}) + "\n")
+        assert main(["replay", str(path)]) == 2
+        assert "no flight_header" in capsys.readouterr().err
+
+    def test_update_workload_records_and_replays(self, tmp_path, capsys):
+        journal = tmp_path / "flight.jsonl"
+        assert main([
+            "update", "SYN", "--scale", "0.05", "--queries", "3",
+            "--keywords", "2", "--record", str(journal),
+        ]) == 0
+        types = {
+            json.loads(line)["type"]
+            for line in journal.read_text().splitlines()
+        }
+        assert "flight_update" in types
+        assert main(["replay", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "updates re-applied" in out
+        assert "verdict: PASS" in out
+
+    def test_shadow_backend_audit_passes(self, capsys):
+        assert main([
+            "diversify", "SYN", "--scale", "0.05", "--queries", "2",
+            "--keywords", "2", "--k", "4",
+            "--shadow-backend", "ch", "--shadow-rate", "1.0",
+        ]) == 0
+        err = capsys.readouterr().err
+        assert "Shadow [ch]: 4 shadow executions, 0 divergence(s)" in err
+
+    def test_slowlog_records_carry_digest(self, tmp_path, capsys):
+        log_path = tmp_path / "slow.jsonl"
+        journal = tmp_path / "flight.jsonl"
+        assert main([
+            "diversify", "SYN", "--scale", "0.05", "--queries", "2",
+            "--keywords", "2", "--k", "4",
+            "--slowlog", str(log_path), "--record", str(journal),
+        ]) == 0
+        capsys.readouterr()
+        records = [
+            json.loads(line) for line in log_path.read_text().splitlines()
+        ]
+        assert records and all(r.get("digest") for r in records)
+        assert main(["slowlog", str(log_path)]) == 0
+        assert "[digest " in capsys.readouterr().out
+
+    def test_explain_renders_digest(self, capsys):
+        assert main([
+            "explain", "SYN", "--scale", "0.05", "--method", "com",
+            "--keywords", "2", "--k", "4",
+        ]) == 0
+        assert "result digest: " in capsys.readouterr().out
+
+
 class TestSlowlogToleranceCommand:
     def test_skips_malformed_lines_and_renders_breaches(
         self, tmp_path, capsys

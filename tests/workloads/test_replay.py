@@ -1,0 +1,220 @@
+"""Replay tests: record a live run, re-execute it, diff everything."""
+
+from __future__ import annotations
+
+import json
+import math
+
+import pytest
+
+from repro.datasets import build_dataset
+from repro.engine.plan import plan_diversified
+from repro.errors import QueryError
+from repro.network.graph import NetworkPosition
+from repro.workloads.queries import (
+    WorkloadConfig,
+    generate_diversified_queries,
+)
+from repro.workloads.replay import (
+    FlightJournal,
+    ReplayConfig,
+    load_flight_journal,
+    run_replay,
+)
+from tests.conftest import TINY_PROFILE
+
+
+def fresh_db():
+    return build_dataset(TINY_PROFILE)
+
+
+def record_run(path, with_updates=True):
+    """Capture a small mixed workload (queries + dynamic updates)."""
+    db = fresh_db()
+    index = db.build_index("sif")
+    recorder = db.enable_flight_recorder(path=path)
+    recorder.set_header(
+        profile="TINY", scale=1.0, seed=TINY_PROFILE.seed,
+        distance_backend=db.distance_backend, scoring=db.scoring_mode,
+        data_version=db.data_version,
+    )
+    queries = generate_diversified_queries(
+        db, WorkloadConfig(num_queries=6, num_keywords=2, k=4, seed=31)
+    )
+    plans = [
+        plan_diversified(db, index, q, method=("seq", "com")[i % 2])
+        for i, q in enumerate(queries)
+    ]
+    first = [db.engine.execute(p, sequence=i)
+             for i, p in enumerate(plans[:3])]
+    if with_updates:
+        victim = next(
+            result.object_ids()[0] for result in first
+            if result.object_ids()
+        )
+        db.insert_object(
+            NetworkPosition(0, 1.0), {"t0", "t1"}, indexes=(index,)
+        )
+        db.delete_object(victim, indexes=(index,))
+        db.update_edge_weight(2, 321.0, indexes=(index,))
+    for i, plan in enumerate(plans[3:], start=3):
+        db.engine.execute(plan, sequence=i)
+    db.disable_flight_recorder()
+    return db
+
+
+@pytest.fixture(scope="module")
+def journal_path(tmp_path_factory):
+    path = tmp_path_factory.mktemp("flight") / "flight.jsonl"
+    record_run(path)
+    return path
+
+
+class TestLoadFlightJournal:
+    def test_parses_all_record_types(self, journal_path):
+        journal = load_flight_journal(journal_path)
+        assert journal.header is not None
+        assert journal.header["profile"] == "TINY"
+        assert len(journal.queries) == 6
+        assert len(journal.updates) == 3
+        assert journal.skipped == 0
+
+    def test_tolerates_foreign_and_malformed_lines(self, tmp_path):
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(
+            json.dumps({"type": "flight_header", "profile": "TINY"}) + "\n"
+            + json.dumps({"type": "snapshot", "counters": {}}) + "\n"
+            + '{"truncated": \n'
+        )
+        journal = load_flight_journal(path)
+        assert journal.header is not None
+        assert journal.skipped == 2
+
+
+class TestReplayConfig:
+    def test_validation(self):
+        with pytest.raises(QueryError):
+            ReplayConfig(workers=0)
+        with pytest.raises(QueryError):
+            ReplayConfig(limit=0)
+
+
+class TestReplayDeterminism:
+    def test_same_backend_zero_divergences(self, journal_path):
+        journal = load_flight_journal(journal_path)
+        report = run_replay(fresh_db(), journal,
+                            journal_path=str(journal_path))
+        assert report.passed
+        assert report.queries_replayed == 6
+        assert report.updates_applied == {
+            "insert": 1, "delete": 1, "edge_weight": 1,
+        }
+        assert set(report.per_label) == {"SIF/SEQ", "SIF/COM"}
+        assert all(
+            slot["diverged"] == 0 for slot in report.per_label.values()
+        )
+        assert "PASS — zero divergences" in report.render()
+
+    @pytest.mark.parametrize("backend", ["ch", "hub"])
+    def test_cross_backend_zero_divergences(self, journal_path, backend):
+        db = fresh_db()
+        db.use_distance_backend(backend)
+        report = run_replay(db, load_flight_journal(journal_path))
+        assert report.passed, [d.render() for d in report.divergences]
+        assert report.backend == backend
+
+    def test_scalar_scoring_zero_divergences(self, journal_path):
+        db = fresh_db()
+        db.use_scoring_mode("scalar")
+        report = run_replay(db, load_flight_journal(journal_path))
+        assert report.passed, [d.render() for d in report.divergences]
+
+    def test_concurrent_replay_zero_divergences(self, journal_path):
+        report = run_replay(
+            fresh_db(), load_flight_journal(journal_path),
+            ReplayConfig(workers=4),
+        )
+        assert report.passed
+        assert report.workers == 4
+
+    def test_limit_caps_queries(self, journal_path):
+        report = run_replay(
+            fresh_db(), load_flight_journal(journal_path),
+            ReplayConfig(limit=2),
+        )
+        assert report.queries_replayed == 2
+        assert report.passed
+
+
+class TestReplayCatchesDivergence:
+    def test_tampered_digest_caught(self, journal_path):
+        journal = load_flight_journal(journal_path)
+        journal.queries[2]["digest"] = "0" * 16
+        report = run_replay(fresh_db(), journal)
+        assert not report.passed
+        fields = {d.fieldname for d in report.divergences}
+        assert fields == {"digest"}
+        diverged = sum(
+            slot["diverged"] for slot in report.per_label.values()
+        )
+        assert diverged == 1
+        assert "FAIL — 1 divergence(s)" in report.render()
+
+    def test_tampered_invariant_counter_caught(self, journal_path):
+        journal = load_flight_journal(journal_path)
+        journal.queries[0]["stats"]["candidates"] += 5
+        report = run_replay(fresh_db(), journal)
+        assert {d.fieldname for d in report.divergences} == {"candidates"}
+
+    def test_perturbed_backend_caught(self, journal_path, monkeypatch):
+        from tests.engine.test_shadow import PerturbingBackend
+
+        db = fresh_db()
+        db.use_distance_backend("ch")
+        oracle = db.ch_oracle()
+        monkeypatch.setattr(
+            db, "pairwise_backend",
+            lambda: PerturbingBackend(oracle),
+        )
+        report = run_replay(db, load_flight_journal(journal_path))
+        assert not report.passed
+        # The warp moves objectives/digests, never the INE search shape.
+        fields = {d.fieldname for d in report.divergences}
+        assert fields <= {"digest", "objective", "results"}
+        assert "digest" in fields
+
+    def test_missing_update_breaks_epoch_alignment(self, journal_path):
+        journal = load_flight_journal(journal_path)
+        dropped = journal.updates.pop()  # lose the edge reweight
+        assert dropped["kind"] == "edge_weight"
+        report = run_replay(fresh_db(), journal)
+        assert not report.passed
+        assert any(
+            d.fieldname == "data_version" for d in report.divergences
+        )
+
+
+class TestReplayReportShape:
+    def test_row_and_summary_record(self, journal_path):
+        report = run_replay(fresh_db(), load_flight_journal(journal_path),
+                            journal_path=str(journal_path))
+        row = report.row()
+        assert row["verdict"] == "PASS"
+        assert row["queries"] == 6
+        assert row["updates"] == 3
+        assert math.isfinite(row["wall_s"])
+        summary = report.summary_record()
+        assert summary["type"] == "replay"
+        assert summary["divergences"] == []
+
+    def test_unknown_index_name_rejected(self):
+        journal = FlightJournal(
+            queries=[{
+                "type": "flight", "kind": "sk", "label": "X", "index": "BOGUS",
+                "epoch": 0, "digest": "", "results": 0,
+                "query": {"position": {"edge_id": 0, "offset": 0.0},
+                          "terms": ["t0"], "delta_max": 100.0},
+            }],
+        )
+        with pytest.raises(QueryError):
+            run_replay(fresh_db(), journal)
