@@ -32,7 +32,7 @@ __all__ = ["TrajectoryWriter", "default_trajectory_path"]
 
 #: Current artifact name; bumped per PR so stacked PRs keep their own
 #: benchmark baselines side by side.
-DEFAULT_FILENAME = "BENCH_PR9.json"
+DEFAULT_FILENAME = "BENCH_PR10.json"
 
 _DISABLED = {"0", "off", "none", "false"}
 

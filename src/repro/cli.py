@@ -64,7 +64,7 @@ from pathlib import Path
 from typing import List, Optional
 
 from .bench.reporting import print_table
-from .core.database import INDEX_KINDS, Database
+from .core.database import FRONTIER_MODES, INDEX_KINDS, Database
 from .network.distance import DISTANCE_BACKENDS
 from .datasets.catalog import PROFILES, build_dataset
 from .datasets.io import save_dataset
@@ -158,6 +158,13 @@ def build_parser() -> argparse.ArgumentParser:
                  "(default), the Contraction-Hierarchies oracle, or "
                  "2-hop hub labels ('hub', needs numpy) — identical "
                  "answers, built once per database",
+        )
+        p.add_argument(
+            "--frontier", choices=FRONTIER_MODES, default=None,
+            help="INE frontier implementation: array heap over a CSR "
+                 "snapshot ('csr', needs numpy; the default when numpy "
+                 "is present) or the adjacency-map loop ('dict') — "
+                 "identical settle order, answers and counters",
         )
 
     def add_workload_args(p: argparse.ArgumentParser) -> None:
@@ -415,6 +422,12 @@ def build_parser() -> argparse.ArgumentParser:
              "one",
     )
     p.add_argument(
+        "--frontier", choices=FRONTIER_MODES, default=None,
+        help="replay over this INE frontier ('csr' or 'dict') instead "
+             "of the recorded one (cross-frontier audit: identical "
+             "digests expected)",
+    )
+    p.add_argument(
         "--workers", type=_positive_int, default=1, metavar="N",
         help="re-execute each epoch group on N engine threads "
              "(default 1; answers must not change)",
@@ -465,6 +478,9 @@ def _build_db(args) -> Database:
     backend = getattr(args, "distance_backend", None)
     if backend:
         db.use_distance_backend(backend)
+    frontier = getattr(args, "frontier", None)
+    if frontier:
+        db.use_frontier_mode(frontier)
     return db
 
 
@@ -573,6 +589,7 @@ def _enable_recorder(db, args) -> None:
         index=getattr(args, "index", None),
         distance_backend=db.distance_backend,
         scoring=db.scoring_mode,
+        frontier=db.frontier_mode,
         workers=getattr(args, "workers", 1),
         data_version=db.data_version,
     )
@@ -969,11 +986,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         scoring = args.scoring or header.get("scoring")
         if scoring:
             db.use_scoring_mode(scoring)
+        frontier = args.frontier or header.get("frontier")
+        if frontier:
+            db.use_frontier_mode(frontier)
         sink = _attach_metrics_sink(db, args)
         try:
             config = ReplayConfig(
                 backend=backend,
                 scoring=scoring or db.scoring_mode,
+                frontier=db.frontier_mode,
                 workers=args.workers,
                 limit=args.limit,
             )

@@ -18,7 +18,7 @@ against the very same index objects.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..engine.executor import QueryEngine
 from ..engine.plan import QueryPlan, plan_diversified, plan_knn, plan_sk
@@ -51,10 +51,13 @@ from .objective import SCORING_MODES
 from .queries import DiversifiedResult, DiversifiedSKQuery, QueryStats, SKQuery, SKResult
 from .updates import UpdateJournal, UpdateRecord
 
-__all__ = ["Database", "INDEX_KINDS"]
+__all__ = ["Database", "FRONTIER_MODES", "INDEX_KINDS"]
 
 #: Registry of index kinds accepted by :meth:`Database.build_index`.
 INDEX_KINDS = ("ccam", "ir", "if", "sif", "sif-p", "sif-g")
+
+#: INE frontier implementations (see :meth:`Database.use_frontier_mode`).
+FRONTIER_MODES = ("csr", "dict")
 
 
 class Database:
@@ -121,6 +124,14 @@ class Database:
         #: (see :meth:`use_scoring_mode`).  Array mode is the default
         #: whenever numpy is importable; the answers are identical.
         self.scoring_mode = "array" if HAVE_NUMPY else "scalar"
+        #: Which INE frontier queries expand over (see
+        #: :meth:`use_frontier_mode`).  The CSR frontier is the default
+        #: whenever numpy is importable; settle order, counters and
+        #: answers are identical to the dict frontier.
+        self.frontier_mode = "csr" if HAVE_NUMPY else "dict"
+        #: Every index built through :meth:`build_index`, for
+        #: observability gauges (signature bytes / signed terms).
+        self.indexes: List[ObjectIndex] = []
         self.disk = DiskManager(buffer_pages=buffer_pages or 1 << 30)
         self._explicit_buffer = buffer_pages
         self._buffer_fraction = buffer_fraction
@@ -390,36 +401,44 @@ class Database:
         """
         self.ensure_frozen()
         kind = kind.lower()
+        index: Optional[ObjectIndex] = None
         if kind == "ccam":
-            return EdgeStoreIndex(self.store, self.disk, **kwargs)
-        if kind == "ir":
-            return InvertedRTreeIndex(self.store, self.disk, **kwargs)
-        if kind == "if":
-            return InvertedFileIndex(self.store, self.disk, curve=self.curve, **kwargs)
-        if kind == "sif":
-            return SIFIndex(
+            index = EdgeStoreIndex(self.store, self.disk, **kwargs)
+        elif kind == "ir":
+            index = InvertedRTreeIndex(self.store, self.disk, **kwargs)
+        elif kind == "if":
+            index = InvertedFileIndex(
+                self.store, self.disk, curve=self.curve, **kwargs
+            )
+        elif kind == "sif":
+            index = SIFIndex(
                 self.store,
                 self.disk,
                 curve=self.curve,
                 kd_partition=self.kd_partition,
                 **kwargs,
             )
-        if kind == "sif-p":
-            return SIFPIndex(
+        elif kind == "sif-p":
+            index = SIFPIndex(
                 self.store,
                 self.disk,
                 curve=self.curve,
                 kd_partition=self.kd_partition,
                 **kwargs,
             )
-        if kind == "sif-g":
-            return SIFGIndex(
+        elif kind == "sif-g":
+            index = SIFGIndex(
                 self.store,
                 self.disk,
                 kd_partition=self.kd_partition,
                 **kwargs,
             )
-        raise QueryError(f"unknown index kind {kind!r}; expected one of {INDEX_KINDS}")
+        if index is None:
+            raise QueryError(
+                f"unknown index kind {kind!r}; expected one of {INDEX_KINDS}"
+            )
+        self.indexes.append(index)
+        return index
 
     # ------------------------------------------------------------------
     # The query engine
@@ -598,6 +617,32 @@ class Database:
         if name == "array":
             require_numpy("array scoring")
         self.scoring_mode = name
+
+    def use_frontier_mode(self, name: str) -> None:
+        """Select the INE frontier: ``"csr"`` (arrays) or ``"dict"``.
+
+        The CSR frontier settles nodes from the cached
+        :meth:`csr_graph` arrays with per-node push pruning; the dict
+        frontier walks the provider's adjacency lists.  Settle order,
+        traversal counters and every emitted object are identical —
+        this switches the expansion's storage layout, not semantics.
+        """
+        name = name.lower()
+        if name not in FRONTIER_MODES:
+            raise QueryError(
+                f"unknown frontier mode {name!r}; "
+                f"expected one of {FRONTIER_MODES}"
+            )
+        if name == "csr":
+            require_numpy("the CSR INE frontier")
+        self.frontier_mode = name
+
+    def frontier_csr(self) -> Optional[CSRGraph]:
+        """The CSR snapshot queries should expand over (``None`` means
+        the dict frontier)."""
+        if self.frontier_mode == "csr" and HAVE_NUMPY:
+            return self.csr_graph()
+        return None
 
     def pairwise_backend(self) -> Optional[DistanceBackend]:
         """The backend queries should hand to their pairwise computer

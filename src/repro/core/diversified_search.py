@@ -181,6 +181,7 @@ def seq_search(
     pairwise: Optional[PairwiseDistanceComputer] = None,
     tracer=NULL_TRACER,
     array_scoring: Optional[bool] = None,
+    csr=None,
 ) -> DiversifiedResult:
     """The straightforward SEQ implementation (paper §4.1).
 
@@ -190,12 +191,15 @@ def seq_search(
     to the scalar path — only the evaluation strategy changes (a
     backend array kernel serves the pair matrix in one call instead of
     through the per-pair cache, so cache-hit bookkeeping may differ).
+
+    ``csr`` optionally routes the expansion over a CSR snapshot (the
+    array frontier); answers and counters are unchanged.
     """
     start = time.perf_counter()
     clock = StageClock()
     expansion = INEExpansion(
         provider, network, index, query.position, query.terms,
-        query.delta_max, tracer=tracer,
+        query.delta_max, tracer=tracer, csr=csr,
     )
     objective = DiversificationObjective(query.lambda_, query.delta_max)
     computer = pairwise or PairwiseDistanceComputer(
@@ -269,6 +273,7 @@ def com_search(
     landmarks=None,
     tracer=NULL_TRACER,
     array_scoring: Optional[bool] = None,
+    csr=None,
 ) -> DiversifiedResult:
     """Algorithm 6: incremental diversified SK search.
 
@@ -295,7 +300,7 @@ def com_search(
     clock = StageClock()
     expansion = INEExpansion(
         provider, network, index, query.position, query.terms,
-        query.delta_max, tracer=tracer,
+        query.delta_max, tracer=tracer, csr=csr,
     )
     objective = DiversificationObjective(query.lambda_, query.delta_max)
     computer = pairwise or PairwiseDistanceComputer(

@@ -12,6 +12,23 @@ non-decreasing ``δ(q, o)`` order.  The plain SK search materialises the
 stream; the incremental diversified search (COM, Algorithm 6) consumes
 it lazily and may close it early, terminating the network expansion
 exactly as the paper's Algorithm 6 line 16 does.
+
+Two frontier implementations share the emission machinery:
+
+* the **dict frontier** walks the adjacency lists returned by the
+  provider (the CCAM store in measured runs);
+* the **CSR frontier** settles nodes from a
+  :class:`~repro.network.csr.CSRGraph`'s contiguous
+  ``indptr/indices/weights`` arrays, with per-node push pruning
+  (a tentative-best array) instead of unconditional duplicate pushes.
+
+Both settle the same nodes in the same order — CSR rows ascend with
+node id, so ``(distance, row)`` heap ties break exactly like
+``(distance, node_id)``, and push pruning only drops heap entries that
+could never produce a fresh pop — which keeps emission order, traversal
+counters and the early-termination point byte-identical.  The CSR loop
+still charges one provider adjacency read per settled node, so the
+CCAM I/O model sees the same access sequence.
 """
 
 from __future__ import annotations
@@ -19,9 +36,10 @@ from __future__ import annotations
 import heapq
 import time
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterator, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterator, List, Optional, Set, Tuple
 
 from ..index.base import ObjectIndex
+from ..network.csr import CSRGraph
 from ..network.distance import AdjacencyProvider, seed_distances
 from ..network.graph import NetworkPosition, RoadNetwork
 from ..network.objects import SpatioTextualObject
@@ -36,6 +54,8 @@ __all__ = ["ExpansionStats", "INEExpansion"]
 #: proportional to log-scale progress rather than node count.
 TRACE_ROUND_NODES = 32
 
+_INF = float("inf")
+
 
 @dataclass
 class ExpansionStats:
@@ -48,6 +68,62 @@ class ExpansionStats:
     #: Wall seconds spent inside ``index.load_objects`` (Algorithm 2:
     #: signature tests + posting fetches), a sub-stage of expansion.
     load_seconds: float = 0.0
+
+
+class _RoundTrace:
+    """Per-``TRACE_ROUND_NODES`` ``ine.round`` span bookkeeping.
+
+    Shared by both frontier loops so the trace schema does not depend
+    on the frontier (the ``frontier`` attribute — the heap length — is
+    the one value allowed to differ: push pruning keeps the CSR heap
+    shorter, and replay does not compare it).
+    """
+
+    __slots__ = (
+        "tracer", "stats", "delta_max", "round_idx", "round_nodes",
+        "round_edges", "round_emitted", "round_t0", "watermark",
+    )
+
+    def __init__(self, tracer, stats: ExpansionStats, delta_max: float) -> None:
+        self.tracer = tracer
+        self.stats = stats
+        self.delta_max = delta_max
+        self.round_idx = 0
+        self.round_nodes = 0
+        self.round_edges = stats.edges_accessed
+        self.round_emitted = stats.objects_emitted
+        self.round_t0 = time.perf_counter()
+        self.watermark = 0.0
+
+    def settle(self, d_n: float, frontier: int) -> None:
+        self.watermark = d_n
+        self.round_nodes += 1
+        if self.round_nodes >= TRACE_ROUND_NODES:
+            self.flush(frontier)
+
+    def flush(self, frontier: int) -> None:
+        """Record the in-progress expansion round as a span."""
+        if self.round_nodes == 0:
+            return
+        self.tracer.add_span(
+            "ine.round",
+            time.perf_counter() - self.round_t0,
+            start=self.round_t0,
+            round=self.round_idx,
+            frontier=frontier,
+            watermark=self.watermark,
+            watermark_fraction=(
+                self.watermark / self.delta_max if self.delta_max > 0 else 0.0
+            ),
+            nodes_settled=self.round_nodes,
+            edges_visited=self.stats.edges_accessed - self.round_edges,
+            objects_emitted=self.stats.objects_emitted - self.round_emitted,
+        )
+        self.round_idx += 1
+        self.round_nodes = 0
+        self.round_edges = self.stats.edges_accessed
+        self.round_emitted = self.stats.objects_emitted
+        self.round_t0 = time.perf_counter()
 
 
 class INEExpansion:
@@ -69,6 +145,12 @@ class INEExpansion:
         expansion records one ``ine.round`` span per
         ``TRACE_ROUND_NODES`` settled nodes under the caller's current
         span, plus an ``ine.terminated`` event with the stop reason.
+    csr:
+        Optional :class:`~repro.network.csr.CSRGraph` snapshot of
+        ``network``.  When given, the frontier settles nodes from the
+        CSR arrays (same settle order, counters and emissions as the
+        dict frontier); adjacency I/O is still charged per settled
+        node through ``provider``.
     """
 
     def __init__(
@@ -80,6 +162,7 @@ class INEExpansion:
         terms: FrozenSet[str],
         delta_max: float,
         tracer=NULL_TRACER,
+        csr: Optional[CSRGraph] = None,
     ) -> None:
         self._provider = provider
         self._network = network
@@ -88,6 +171,7 @@ class INEExpansion:
         self._terms = terms
         self._delta_max = delta_max
         self._tracer = tracer
+        self._csr = csr
         self.stats = ExpansionStats()
 
     def _load_objects(
@@ -98,21 +182,18 @@ class INEExpansion:
         self.stats.load_seconds += time.perf_counter() - start
         return matches
 
-    def run(self) -> Iterator[ResultItem]:
-        """Yield matching objects in non-decreasing network distance."""
-        network = self._network
-        delta_max = self._delta_max
-        query_edge = self._position.edge_id
+    def _object_machinery(self):
+        """Shared emission state: queue, finalisation, query-edge seed.
 
-        settled: Set[int] = set()
-        visited_edges: Set[int] = set()
-        node_heap: List[Tuple[float, int]] = []
+        Returns ``(queue_object, emit_upto, pinned)`` closures/state
+        with the query edge already seeded (its objects queued at their
+        along-edge distance and pinned against relaxation).
+        """
+        delta_max = self._delta_max
         #: object_id -> best tentative distance
         best: Dict[int, float] = {}
         #: object_id -> object (for emission)
         loaded: Dict[int, SpatioTextualObject] = {}
-        #: matching objects grouped by edge, for endpoint relaxation
-        edge_objects: Dict[int, List[SpatioTextualObject]] = {}
         #: objects on the query edge use the along-edge distance and are
         #: never relaxed (paper: δ(q, p) = w(q, p) on a shared edge).
         pinned: Set[int] = set()
@@ -140,50 +221,42 @@ class INEExpansion:
                 yield ResultItem(loaded[oid], dist)
 
         # Seed: the query's own edge.
-        visited_edges.add(query_edge)
         self.stats.edges_accessed += 1
-        for obj in self._load_objects(query_edge, self._terms):
+        for obj in self._load_objects(self._position.edge_id, self._terms):
             dist = abs(obj.position.offset - self._position.offset)
             if dist <= delta_max:
                 queue_object(obj, dist)
                 pinned.add(obj.object_id)
+
+        return queue_object, emit_upto, pinned
+
+    def run(self) -> Iterator[ResultItem]:
+        """Yield matching objects in non-decreasing network distance."""
+        if self._csr is not None:
+            return self._run_csr()
+        return self._run_dict()
+
+    # ------------------------------------------------------------------
+    # Dict frontier (provider adjacency lists)
+    # ------------------------------------------------------------------
+    def _run_dict(self) -> Iterator[ResultItem]:
+        network = self._network
+        delta_max = self._delta_max
+
+        settled: Set[int] = set()
+        visited_edges: Set[int] = {self._position.edge_id}
+        node_heap: List[Tuple[float, int]] = []
+        #: matching objects grouped by edge, for endpoint relaxation
+        edge_objects: Dict[int, List[SpatioTextualObject]] = {}
+
+        queue_object, emit_upto, pinned = self._object_machinery()
 
         for node_id, dist in seed_distances(network, self._position).items():
             heapq.heappush(node_heap, (dist, node_id))
 
         tracer = self._tracer
         tracing = tracer.enabled
-        round_idx = 0
-        round_nodes = 0
-        round_edges = self.stats.edges_accessed
-        round_emitted = self.stats.objects_emitted
-        round_t0 = time.perf_counter() if tracing else 0.0
-        watermark = 0.0
-
-        def flush_round(frontier: int) -> None:
-            """Record the in-progress expansion round as a span."""
-            nonlocal round_idx, round_nodes, round_edges, round_emitted, round_t0
-            if round_nodes == 0:
-                return
-            tracer.add_span(
-                "ine.round",
-                time.perf_counter() - round_t0,
-                start=round_t0,
-                round=round_idx,
-                frontier=frontier,
-                watermark=watermark,
-                watermark_fraction=(
-                    watermark / delta_max if delta_max > 0 else 0.0
-                ),
-                nodes_settled=round_nodes,
-                edges_visited=self.stats.edges_accessed - round_edges,
-                objects_emitted=self.stats.objects_emitted - round_emitted,
-            )
-            round_idx += 1
-            round_nodes = 0
-            round_edges = self.stats.edges_accessed
-            round_emitted = self.stats.objects_emitted
-            round_t0 = time.perf_counter()
+        rounds = _RoundTrace(tracer, self.stats, delta_max) if tracing else None
 
         try:
             while node_heap:
@@ -198,7 +271,7 @@ class INEExpansion:
                     # δ_T exceeded δmax: no unvisited node or object can
                     # qualify any more (paper's termination condition).
                     if tracing:
-                        watermark = d_n
+                        rounds.watermark = d_n
                         tracer.event(
                             "ine.terminated", reason="delta_max", watermark=d_n
                         )
@@ -206,10 +279,7 @@ class INEExpansion:
                 settled.add(node_id)
                 self.stats.nodes_accessed += 1
                 if tracing:
-                    watermark = d_n
-                    round_nodes += 1
-                    if round_nodes >= TRACE_ROUND_NODES:
-                        flush_round(len(node_heap))
+                    rounds.settle(d_n, len(node_heap))
 
                 self._expand_node(
                     node_id, d_n, settled, visited_edges, node_heap,
@@ -219,7 +289,7 @@ class INEExpansion:
             yield from emit_upto(float("inf"))
         finally:
             if tracing:
-                flush_round(len(node_heap))
+                rounds.flush(len(node_heap))
 
     def _expand_node(
         self, node_id, d_n, settled, visited_edges, node_heap,
@@ -259,6 +329,115 @@ class INEExpansion:
                         else edge.weight - obj.position.offset
                     )
                     queue_object(obj, d_n + offset)
+
+    # ------------------------------------------------------------------
+    # CSR frontier (contiguous indptr/indices/weights)
+    # ------------------------------------------------------------------
+    def _run_csr(self) -> Iterator[ResultItem]:
+        network = self._network
+        delta_max = self._delta_max
+        query_edge = self._position.edge_id
+        provider = self._provider
+        csr = self._csr
+        indptr, indices, weights, entry_edges, entry_targets, node_ids = (
+            csr.traversal_lists()
+        )
+
+        n = csr.num_nodes
+        row_of = csr.row_of
+        #: tentative best per row: a push happens only when it improves
+        #: on every earlier push for that row, so dominated duplicates
+        #: (which the dict frontier pushes and later skips as settled)
+        #: never enter the heap — fresh pops are identical.
+        best_node = [_INF] * n
+        settled = bytearray(n)
+        visited = bytearray(network.num_edges)
+        node_heap: List[Tuple[float, int]] = []
+        edge_objects: Dict[int, List[SpatioTextualObject]] = {}
+
+        queue_object, emit_upto, pinned = self._object_machinery()
+
+        for node_id, dist in seed_distances(network, self._position).items():
+            r = row_of[node_id]
+            if dist < best_node[r]:
+                best_node[r] = dist
+            heapq.heappush(node_heap, (dist, r))
+
+        tracer = self._tracer
+        tracing = tracer.enabled
+        rounds = _RoundTrace(tracer, self.stats, delta_max) if tracing else None
+
+        stats = self.stats
+        try:
+            while node_heap:
+                d_n, r = heapq.heappop(node_heap)
+                if settled[r]:
+                    continue
+                yield from emit_upto(d_n)
+                if d_n > delta_max:
+                    if tracing:
+                        rounds.watermark = d_n
+                        tracer.event(
+                            "ine.terminated", reason="delta_max", watermark=d_n
+                        )
+                    break
+                settled[r] = 1
+                stats.nodes_accessed += 1
+                if tracing:
+                    rounds.settle(d_n, len(node_heap))
+
+                node_id = node_ids[r]
+                # I/O parity with the dict frontier: one adjacency read
+                # per settled node is charged to the provider (a CCAM
+                # page access); traversal then runs over the CSR arrays.
+                provider.neighbors(node_id)
+
+                for idx in range(indptr[r], indptr[r + 1]):
+                    other = indices[idx]
+                    if not settled[other]:
+                        nd = d_n + weights[idx]
+                        if nd < best_node[other]:
+                            best_node[other] = nd
+                            heapq.heappush(node_heap, (nd, other))
+                    edge_id = entry_edges[idx]
+                    if edge_id == query_edge:
+                        continue  # pinned objects keep their distance
+                    if not visited[edge_id]:
+                        visited[edge_id] = 1
+                        stats.edges_accessed += 1
+                        matches = self._load_objects(edge_id, self._terms)
+                        if matches:
+                            edge_objects[edge_id] = matches
+                            weight = weights[idx]
+                            # add_edge orders n1 < n2, so the settled
+                            # endpoint is n1 iff its id is the smaller.
+                            src_is_n1 = node_id < entry_targets[idx]
+                            for obj in matches:
+                                offset = (
+                                    obj.position.offset
+                                    if src_is_n1
+                                    else weight - obj.position.offset
+                                )
+                                queue_object(obj, d_n + offset)
+                    else:
+                        objs = edge_objects.get(edge_id)
+                        if objs:
+                            weight = weights[idx]
+                            src_is_n1 = node_id < entry_targets[idx]
+                            for obj in objs:
+                                if obj.object_id in pinned:
+                                    continue
+                                offset = (
+                                    obj.position.offset
+                                    if src_is_n1
+                                    else weight - obj.position.offset
+                                )
+                                queue_object(obj, d_n + offset)
+
+            yield from emit_upto(float("inf"))
+        finally:
+            if tracing:
+                rounds.flush(len(node_heap))
 
     def run_to_completion(self) -> List[ResultItem]:
         """Materialise the whole stream (plain SK search)."""

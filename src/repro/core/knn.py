@@ -90,6 +90,7 @@ def knn_search(
     index: ObjectIndex,
     query: SKkNNQuery,
     tracer=NULL_TRACER,
+    csr=None,
 ) -> SKkNNResult:
     """kNN over the INE stream with adaptive radius doubling.
 
@@ -112,7 +113,7 @@ def knn_search(
         t0 = time.perf_counter()
         expansion = INEExpansion(
             provider, network, index, query.position, query.terms, radius,
-            tracer=tracer,
+            tracer=tracer, csr=csr,
         )
         items = list(islice(expansion.run(), query.k))
         stats.nodes_accessed += expansion.stats.nodes_accessed

@@ -231,11 +231,12 @@ class QueryEngine:
             backend=self._shadow_oracle(backend_name),
         )
         array_scoring = db.scoring_mode == "array"
+        csr = db.frontier_csr()
         if plan.algorithm == "seq":
             shadow_result = seq_search(
                 db.ccam, db.network, plan.index, query,
                 pairwise=pairwise, tracer=NULL_TRACER,
-                array_scoring=array_scoring,
+                array_scoring=array_scoring, csr=csr,
             )
         else:
             shadow_result = com_search(
@@ -244,7 +245,7 @@ class QueryEngine:
                 enable_pruning=plan.enable_pruning,
                 landmarks=plan.landmarks,
                 tracer=NULL_TRACER,
-                array_scoring=array_scoring,
+                array_scoring=array_scoring, csr=csr,
             )
         primary_digest = result_digest(result)
         shadow_digest = result_digest(shadow_result)
@@ -289,6 +290,7 @@ class QueryEngine:
             expansion = INEExpansion(
                 db.ccam, db.network, plan.index, query.position,
                 query.terms, query.delta_max, tracer=t,
+                csr=db.frontier_csr(),
             )
             items = expansion.run_to_completion()
             wall = time.perf_counter() - start
@@ -323,7 +325,8 @@ class QueryEngine:
             terms=sorted(query.terms), k=query.k,
         ) as root:
             result = knn_search(
-                db.ccam, db.network, plan.index, query, tracer=t
+                db.ccam, db.network, plan.index, query, tracer=t,
+                csr=db.frontier_csr(),
             )
             if t.enabled:
                 root.set(results=len(result))
@@ -382,11 +385,12 @@ class QueryEngine:
             lambda_=query.lambda_, backend=pairwise.backend_name,
         ) as root:
             array_scoring = db.scoring_mode == "array"
+            csr = db.frontier_csr()
             if plan.algorithm == "seq":
                 result = seq_search(
                     db.ccam, db.network, plan.index, query,
                     pairwise=pairwise, tracer=t,
-                    array_scoring=array_scoring,
+                    array_scoring=array_scoring, csr=csr,
                 )
             else:
                 result = com_search(
@@ -395,7 +399,7 @@ class QueryEngine:
                     enable_pruning=plan.enable_pruning,
                     landmarks=plan.landmarks,
                     tracer=t,
-                    array_scoring=array_scoring,
+                    array_scoring=array_scoring, csr=csr,
                 )
             if t.enabled:
                 ctx.trace_signature_summary(len(result))

@@ -37,6 +37,13 @@ class LoadCounters:
     false_hits: int = 0
     false_hit_objects: int = 0
     results_returned: int = 0
+    #: AND-semantics signature tests run / tests that pruned their
+    #: edge.  These live here (not on the shared SignatureFile) so
+    #: concurrent queries under ``execute_many(workers=N)`` each count
+    #: into their own per-query slot and the lifetime totals absorb
+    #: exact deltas under the merge lock.
+    signature_tests_run: int = 0
+    signature_tests_pruned: int = 0
     #: Wall seconds spent in signature verification (the in-memory
     #: bitmap tests of SIF / SIF-P / SIF-G); sampled as per-query
     #: deltas by the metrics layer.
@@ -49,6 +56,8 @@ class LoadCounters:
         self.false_hits = 0
         self.false_hit_objects = 0
         self.results_returned = 0
+        self.signature_tests_run = 0
+        self.signature_tests_pruned = 0
         self.signature_seconds = 0.0
 
     def absorb(self, other: "LoadCounters") -> None:
@@ -59,6 +68,8 @@ class LoadCounters:
         self.false_hits += other.false_hits
         self.false_hit_objects += other.false_hit_objects
         self.results_returned += other.results_returned
+        self.signature_tests_run += other.signature_tests_run
+        self.signature_tests_pruned += other.signature_tests_pruned
         self.signature_seconds += other.signature_seconds
 
 

@@ -67,9 +67,12 @@ class SIFIndex(ObjectIndex):
     ) -> List[SpatioTextualObject]:
         start = time.perf_counter()
         passed = self._signatures.test(edge_id, terms)
-        self.counters.signature_seconds += time.perf_counter() - start
+        counters = self.counters
+        counters.signature_seconds += time.perf_counter() - start
+        counters.signature_tests_run += 1
         if not passed:
-            self.counters.edges_pruned_by_signature += 1
+            counters.signature_tests_pruned += 1
+            counters.edges_pruned_by_signature += 1
             if self.tracer.enabled:
                 self.tracer.event(
                     "signature.prune", edge=edge_id, partition="SIF"

@@ -120,17 +120,21 @@ class SIFGIndex(ObjectIndex):
         self, edge_id: int, terms: FrozenSet[str]
     ) -> List[SpatioTextualObject]:
         pairs, singles = self._cover(terms)
+        counters = self.counters
         # Signature test: group bits for pairs, plain bits for singles.
         sig_start = time.perf_counter()
+        counters.signature_tests_run += 1
         for pair in pairs:
             if edge_id not in self._group_bits.get(pair, ()):
-                self.counters.signature_seconds += time.perf_counter() - sig_start
-                self.counters.edges_pruned_by_signature += 1
+                counters.signature_seconds += time.perf_counter() - sig_start
+                counters.signature_tests_pruned += 1
+                counters.edges_pruned_by_signature += 1
                 return []
         passed = self._signatures.test(edge_id, singles)
-        self.counters.signature_seconds += time.perf_counter() - sig_start
+        counters.signature_seconds += time.perf_counter() - sig_start
         if not passed:
-            self.counters.edges_pruned_by_signature += 1
+            counters.signature_tests_pruned += 1
+            counters.edges_pruned_by_signature += 1
             return []
 
         self.counters.edges_probed += 1
@@ -180,6 +184,10 @@ class SIFGIndex(ObjectIndex):
         num_edges = self._network.num_edges
         sig_bytes = len(self._group_bits) * ((num_edges + 7) // 8)
         return self._group_file.size_bytes + sig_bytes
+
+    @property
+    def signatures(self) -> SignatureFile:
+        return self._signatures
 
     @property
     def num_groups(self) -> int:

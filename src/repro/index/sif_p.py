@@ -29,6 +29,7 @@ from .base import ObjectIndex
 from .inverted_file import edge_zorder_key
 from .partition import QueryLog, dp_partition, greedy_partition, segments_from_cuts
 from .query_log import frequency_edge_log
+from .signature import PackedBitMatrix
 
 __all__ = ["SIFPIndex", "LogBuilder"]
 
@@ -106,8 +107,17 @@ class SIFPIndex(ObjectIndex):
         #: position, so dynamic maintenance can place new objects and
         #: recompute the positional ranges from the current store.
         self._boundaries: Dict[int, List[float]] = {}
-        #: term -> set of (edge_id, virtual_idx) with the bit set
-        self._bits: Dict[str, Set[Tuple[int, int]]] = {}
+        #: Packed per-term bitset rows over a *global* virtual-edge slot
+        #: space: every edge owns a contiguous run of
+        #: ``max(1, len(segments))`` slots, assigned at build (or lazily
+        #: for edges first populated dynamically).  Slot counts are
+        #: stable — ``_recompute_segments`` preserves the segment count
+        #: — so a slot id is a permanent name for ``(edge, v_idx)``.
+        self._matrix = PackedBitMatrix(0)
+        #: edge_id -> first slot of its run
+        self._slot_base: Dict[int, int] = {}
+        #: slot -> owning edge (size accounting walks rows back to edges)
+        self._slot_edge: List[int] = []
         self._unsigned_terms: Set[str] = set()
 
         start = time.perf_counter()
@@ -140,10 +150,27 @@ class SIFPIndex(ObjectIndex):
             cuts, _cost = greedy_partition(object_keywords, self._max_cuts, log)
         return cuts
 
+    def _alloc_slots(self, edge_id: int, count: int) -> int:
+        """Reserve ``count`` contiguous virtual-edge slots for an edge."""
+        base = len(self._slot_edge)
+        self._slot_base[edge_id] = base
+        self._slot_edge.extend([edge_id] * count)
+        self._matrix.ensure_slots(len(self._slot_edge))
+        return base
+
+    def _slot(self, edge_id: int, v_idx: int) -> int:
+        """Global slot of ``(edge_id, v_idx)`` (lazily allocates one
+        slot for edges first populated after the build)."""
+        base = self._slot_base.get(edge_id)
+        if base is None:
+            base = self._alloc_slots(edge_id, 1)
+        return base + v_idx
+
     def _build(self) -> None:
         to_partition = self._choose_partitioned_edges()
         # term -> postings in (edge key, virtual idx) order
         staged: Dict[str, List[_Posting]] = {}
+        staged_bits: Dict[str, Set[int]] = {}
         ordered_edges = sorted(
             self._store.edges_with_objects(),
             key=lambda e: edge_zorder_key(self._curve, self._network, e),
@@ -160,13 +187,14 @@ class SIFPIndex(ObjectIndex):
                 objects[seg_start].position.offset
                 for seg_start, _seg_end in segments[1:]
             ]
+            base = self._alloc_slots(edge_id, max(1, len(segments)))
             key = edge_zorder_key(self._curve, self._network, edge_id)
             for v_idx, (seg_start, seg_end) in enumerate(segments):
                 for obj in objects[seg_start : seg_end + 1]:
                     posting = (key, v_idx, obj.object_id, obj.position.offset)
                     for term in obj.keywords:
                         staged.setdefault(term, []).append(posting)
-                        self._bits.setdefault(term, set()).add((edge_id, v_idx))
+                        staged_bits.setdefault(term, set()).add(base + v_idx)
 
         for term in sorted(staged):
             postings = staged[term]
@@ -198,18 +226,28 @@ class SIFPIndex(ObjectIndex):
         for term, pages in self._pages_per_term.items():
             if pages < self._min_postings_pages:
                 self._unsigned_terms.add(term)
-                self._bits.pop(term, None)
+                staged_bits.pop(term, None)
+        for term, slots in staged_bits.items():
+            self._matrix.bulk_set(term, slots)
 
     # ------------------------------------------------------------------
     # Signature test per virtual edge
     # ------------------------------------------------------------------
+    @property
+    def num_signed_terms(self) -> int:
+        return self._matrix.num_rows
+
     def _bit(self, edge_id: int, v_idx: int, term: str) -> bool:
         if term in self._unsigned_terms:
             return True
-        bits = self._bits.get(term)
-        if bits is None:
+        if term not in self._matrix:
             return False  # term absent from the whole dataset
-        return (edge_id, v_idx) in bits
+        base = self._slot_base.get(edge_id)
+        if base is None:
+            return False  # edge never received any bit
+        return self._matrix.probe(
+            self._matrix.combined((term,)), base + v_idx
+        )
 
     def segments_of(self, edge_id: int) -> List[Tuple[int, int]]:
         """Virtual-edge object ranges of an edge (single range if uncut)."""
@@ -230,15 +268,39 @@ class SIFPIndex(ObjectIndex):
         segments = self._segments.get(edge_id)
         if segments is None:
             return []  # no objects on this edge at all
+        counters = self.counters
         sig_start = time.perf_counter()
-        passing = [
-            v_idx
-            for v_idx in range(len(segments))
-            if all(self._bit(edge_id, v_idx, t) for t in terms)
-        ]
-        self.counters.signature_seconds += time.perf_counter() - sig_start
+        # Batched per-virtual-edge test: AND the signed terms' rows once
+        # and gather every segment's bit from the combined row in one
+        # kernel call.  A non-unsigned term with no row means "absent
+        # from the whole dataset": every segment fails.
+        matrix = self._matrix
+        signed: List[str] = []
+        absent = False
+        for term in terms:
+            if term in self._unsigned_terms:
+                continue
+            if term not in matrix:
+                absent = True
+                break
+            signed.append(term)
+        if absent:
+            passing: List[int] = []
+        else:
+            base = self._slot_base.get(edge_id)
+            if base is None:
+                # Edge owns no slots (no bit was ever set for it): only
+                # an all-unsigned query can pass.
+                passing = [] if signed else list(range(len(segments)))
+            else:
+                passing = matrix.probe_range(
+                    matrix.combined(signed), base, len(segments)
+                )
+        counters.signature_seconds += time.perf_counter() - sig_start
+        counters.signature_tests_run += 1
         if not passing:
-            self.counters.edges_pruned_by_signature += 1
+            counters.signature_tests_pruned += 1
+            counters.edges_pruned_by_signature += 1
             if self.tracer.enabled:
                 self.tracer.event(
                     "signature.prune", edge=edge_id, partition="SIF-P",
@@ -308,8 +370,9 @@ class SIFPIndex(ObjectIndex):
         """
         total = 0
         extra_bits = 0
-        for term, pairs in self._bits.items():
-            edges = {e for e, _v in pairs}
+        slot_edge = self._slot_edge
+        for term in self._matrix.keys():
+            edges = {slot_edge[s] for s in self._matrix.slots_of(term)}
             total += self._kd.compact_size_bytes(edges)
             for edge_id in edges:
                 segs = self._segments.get(edge_id)
@@ -396,7 +459,7 @@ class SIFPIndex(ObjectIndex):
                             pages.append(page_no)
                             self._pages_per_term[term] += 1
             if term not in self._unsigned_terms:
-                self._bits.setdefault(term, set()).add((edge_id, v_idx))
+                self._matrix.set(term, self._slot(edge_id, v_idx))
         self._recompute_segments(edge_id)
 
     def delete_object(self, obj: SpatioTextualObject) -> None:
@@ -434,8 +497,8 @@ class SIFPIndex(ObjectIndex):
                         p[0] == key and p[1] == v_idx for p in kept
                     ):
                         survivors = True
-                if not survivors and term in self._bits:
-                    self._bits[term].discard((edge_id, v_idx))
+                if not survivors and term in self._matrix:
+                    self._matrix.clear(term, self._slot(edge_id, v_idx))
         self._recompute_segments(edge_id)
 
     def rescale_edge(self, edge_id: int, factor: float) -> None:

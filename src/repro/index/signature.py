@@ -1,4 +1,4 @@
-"""Per-keyword edge signatures (paper §3.1).
+"""Per-keyword edge signatures (paper §3.1), packed as bitset rows.
 
 ``I(e, t) = 1`` iff at least one object with keyword ``t`` lies on edge
 ``e``.  An edge can be skipped — zero I/O — when any query keyword has
@@ -15,17 +15,319 @@ Following the paper:
 
 Signatures are memory-resident at query time ("can be easily fit into
 the main memory"), so the test itself costs no I/O.
+
+Storage layout: one packed ``uint64`` bitset row per signed keyword,
+``ceil(num_slots / 64)`` words wide, over a dense slot space (edge ids
+for SIF, virtual-edge slots for SIF-P).  The AND over a query's terms
+is computed once per distinct term set and cached until the next
+``set``/``clear`` bumps the version; ``test`` then costs one
+word-index/mask probe, and :meth:`PackedBitMatrix.probe_many` answers a
+whole batch of slots with one vectorised gather.  Without numpy the
+rows fall back to arbitrary-precision Python ints, which are packed
+bitmaps with the same semantics.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, Optional, Set
+import threading
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
 
 from ..network.objects import ObjectStore
+from ..nplib import HAVE_NUMPY, np
 from ..spatial.kdtree import KDTreePartition
 from .inverted_file import InvertedFileIndex
 
-__all__ = ["SignatureFile"]
+__all__ = ["PackedBitMatrix", "SignatureFile"]
+
+#: Combined-row cache entries kept before the cache is dropped.  Query
+#: workloads reuse a handful of term sets; dynamic churn invalidates by
+#: version, so the cap only guards against adversarial term diversity.
+_COMBINED_CACHE_CAP = 512
+
+
+class PackedBitMatrix:
+    """Packed bitset rows over a dense slot space, one row per key.
+
+    The matrix is the storage engine shared by :class:`SignatureFile`
+    (slots = edge ids) and SIF-P (slots = global virtual-edge slots).
+    Key-existence policy — whether an absent key passes conservatively
+    (SIF) or fails everywhere (SIF-P) — is the *caller's* concern: the
+    caller selects which keys participate in :meth:`combined` and the
+    matrix only ANDs the selected rows.
+
+    Rows are ``uint64`` numpy vectors when numpy is available and
+    arbitrary-precision Python ints otherwise; both are packed bitmaps
+    with identical observable semantics.
+    """
+
+    def __init__(self, num_slots: int) -> None:
+        self._num_slots = max(0, int(num_slots))
+        self._row_of: Dict[str, int] = {}
+        self._version = 0
+        self._combined_cache: Dict[
+            Tuple[int, ...], Tuple[int, object]
+        ] = {}
+        self._cache_lock = threading.Lock()
+        if HAVE_NUMPY:
+            self._words = max(1, (self._num_slots + 63) // 64)
+            self._rows = np.zeros((0, self._words), dtype=np.uint64)
+            self._used_rows = 0
+            self._int_rows: List[int] = []
+        else:
+            self._words = max(1, (self._num_slots + 63) // 64)
+            self._rows = None
+            self._used_rows = 0
+            self._int_rows = []
+
+    # ------------------------------------------------------------------
+    @property
+    def num_slots(self) -> int:
+        return self._num_slots
+
+    @property
+    def num_rows(self) -> int:
+        return len(self._row_of)
+
+    @property
+    def num_words(self) -> int:
+        """Words per row — ``ceil(num_slots / 64)`` (at least one)."""
+        return max(1, (self._num_slots + 63) // 64)
+
+    @property
+    def version(self) -> int:
+        """Bumped on every mutation; invalidates cached combined rows."""
+        return self._version
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._row_of
+
+    def keys(self) -> Iterable[str]:
+        return self._row_of.keys()
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+    def ensure_slots(self, num_slots: int) -> None:
+        """Grow the slot space (never shrinks; widens rows as needed)."""
+        if num_slots <= self._num_slots:
+            return
+        self._num_slots = int(num_slots)
+        new_words = max(1, (self._num_slots + 63) // 64)
+        if new_words > self._words:
+            if HAVE_NUMPY:
+                widened = np.zeros(
+                    (self._rows.shape[0], new_words), dtype=np.uint64
+                )
+                widened[:, : self._words] = self._rows
+                self._rows = widened
+            self._words = new_words
+
+    def add_row(self, key: str) -> int:
+        """Allocate an all-zero row for ``key`` (idempotent)."""
+        row = self._row_of.get(key)
+        if row is not None:
+            return row
+        if HAVE_NUMPY:
+            row = self._used_rows
+            if row >= self._rows.shape[0]:
+                capacity = max(8, self._rows.shape[0] * 2, row + 1)
+                grown = np.zeros((capacity, self._words), dtype=np.uint64)
+                grown[: self._rows.shape[0]] = self._rows
+                self._rows = grown
+            self._used_rows += 1
+        else:
+            row = len(self._int_rows)
+            self._int_rows.append(0)
+        self._row_of[key] = row
+        self._version += 1
+        return row
+
+    def drop_row(self, key: str) -> None:
+        """Forget ``key`` (its physical row is zeroed and abandoned)."""
+        row = self._row_of.pop(key, None)
+        if row is None:
+            return
+        if HAVE_NUMPY:
+            self._rows[row, :] = 0
+        else:
+            self._int_rows[row] = 0
+        self._version += 1
+
+    def set(self, key: str, slot: int) -> None:
+        """Set bit ``slot`` in ``key``'s row, allocating it if absent."""
+        if slot >= self._num_slots:
+            self.ensure_slots(slot + 1)
+        row = self._row_of.get(key)
+        if row is None:
+            row = self.add_row(key)
+        if HAVE_NUMPY:
+            self._rows[row, slot >> 6] |= np.uint64(1 << (slot & 63))
+        else:
+            self._int_rows[row] |= 1 << slot
+        self._version += 1
+
+    def clear(self, key: str, slot: int) -> None:
+        """Clear bit ``slot`` in ``key``'s row; no-op for absent keys.
+
+        An emptied row is kept: all-zero means "this key occurs in no
+        slot", which prunes every probe — dropping the row would instead
+        make the key's absence read as a pass for callers that treat
+        missing keys conservatively.
+        """
+        row = self._row_of.get(key)
+        if row is None:
+            return
+        if 0 <= slot < self._num_slots:
+            if HAVE_NUMPY:
+                self._rows[row, slot >> 6] &= ~np.uint64(1 << (slot & 63))
+            else:
+                self._int_rows[row] &= ~(1 << slot)
+        self._version += 1
+
+    def bulk_set(self, key: str, slots: Iterable[int]) -> None:
+        """Set many bits in one row (build-time path, one version bump)."""
+        slots = list(slots)
+        if not slots:
+            self.add_row(key)
+            return
+        top = max(slots)
+        if top >= self._num_slots:
+            self.ensure_slots(top + 1)
+        row = self.add_row(key)
+        if HAVE_NUMPY:
+            idx = np.asarray(slots, dtype=np.int64)
+            words = idx >> 6
+            masks = np.left_shift(
+                np.uint64(1), (idx & 63).astype(np.uint64)
+            )
+            np.bitwise_or.at(self._rows[row], words, masks)
+        else:
+            acc = self._int_rows[row]
+            for slot in slots:
+                acc |= 1 << slot
+            self._int_rows[row] = acc
+        self._version += 1
+
+    # ------------------------------------------------------------------
+    # Probing
+    # ------------------------------------------------------------------
+    def combined(self, keys: Sequence[str]):
+        """AND of the given keys' rows; ``None`` means "always pass".
+
+        Every key must be present (callers apply their own policy for
+        absent keys first).  The result is cached per distinct key set
+        until the next mutation.
+        """
+        if not keys:
+            return None
+        rows = sorted(self._row_of[k] for k in set(keys))
+        cache_key = tuple(rows)
+        version = self._version
+        hit = self._combined_cache.get(cache_key)
+        if hit is not None and hit[0] == version:
+            return hit[1]
+        if HAVE_NUMPY:
+            if len(rows) == 1:
+                combined = self._rows[rows[0]]
+            else:
+                combined = np.bitwise_and.reduce(
+                    self._rows[np.asarray(rows, dtype=np.intp)], axis=0
+                )
+        else:
+            combined = self._int_rows[rows[0]]
+            for r in rows[1:]:
+                combined &= self._int_rows[r]
+        with self._cache_lock:
+            if len(self._combined_cache) >= _COMBINED_CACHE_CAP:
+                self._combined_cache.clear()
+            self._combined_cache[cache_key] = (version, combined)
+        return combined
+
+    def probe(self, combined, slot: int) -> bool:
+        """Bit ``slot`` of a combined row (``None`` passes everything)."""
+        if combined is None:
+            return True
+        if slot < 0 or slot >= self._num_slots:
+            return False
+        if HAVE_NUMPY:
+            return bool(
+                (int(combined[slot >> 6]) >> (slot & 63)) & 1
+            )
+        return bool((combined >> slot) & 1)
+
+    def probe_many(self, combined, slots: Sequence[int]) -> List[bool]:
+        """Batched :meth:`probe` over many slots (vectorised gather)."""
+        if combined is None:
+            return [True] * len(slots)
+        if HAVE_NUMPY and len(slots):
+            idx = np.asarray(slots, dtype=np.int64)
+            words = combined[idx >> 6]
+            shifts = (idx & 63).astype(np.uint64)
+            bits = (words >> shifts) & np.uint64(1)
+            return bits.astype(bool).tolist()
+        return [self.probe(combined, s) for s in slots]
+
+    def probe_range(self, combined, start: int, count: int) -> List[int]:
+        """Indices ``i in [0, count)`` whose slot ``start + i`` is set."""
+        if combined is None:
+            return list(range(count))
+        if HAVE_NUMPY and count:
+            idx = np.arange(start, start + count, dtype=np.int64)
+            words = combined[idx >> 6]
+            shifts = (idx & 63).astype(np.uint64)
+            bits = (words >> shifts) & np.uint64(1)
+            return np.flatnonzero(bits).tolist()
+        if not HAVE_NUMPY and count:
+            window = (combined >> start) & ((1 << count) - 1)
+            out: List[int] = []
+            while window:
+                low = window & -window
+                out.append(low.bit_length() - 1)
+                window ^= low
+            return out
+        return []
+
+    def to_bigint(self, combined) -> Optional[int]:
+        """A combined row as one arbitrary-precision int (or ``None``).
+
+        Scalar probes on a Python int (``(bits >> slot) & 1``) beat
+        numpy scalar indexing, which pays per-element boxing; callers
+        that probe edge-at-a-time (the INE load path) convert once per
+        cached term set and shift thereafter.
+        """
+        if combined is None:
+            return None
+        if isinstance(combined, int):
+            return combined
+        return int.from_bytes(
+            combined.astype("<u8", copy=False).tobytes(), "little"
+        )
+
+    def slots_of(self, key: str) -> FrozenSet[int]:
+        """The set bits of one key's row (size accounting / edges_of)."""
+        row = self._row_of.get(key)
+        if row is None:
+            return frozenset()
+        out: List[int] = []
+        if HAVE_NUMPY:
+            words = self._rows[row].tolist()
+        else:
+            value = self._int_rows[row]
+            words = []
+            while value:
+                words.append(value & 0xFFFFFFFFFFFFFFFF)
+                value >>= 64
+        for wi, word in enumerate(words):
+            base = wi << 6
+            while word:
+                low = word & -word
+                out.append(base + low.bit_length() - 1)
+                word ^= low
+        return frozenset(out)
+
+    def size_bytes(self) -> int:
+        """Packed size: rows × words × 8 bytes."""
+        return self.num_rows * self.num_words * 8
 
 
 class SignatureFile:
@@ -57,11 +359,11 @@ class SignatureFile:
             every keyword (``1``) and the paper rule is opt-in.
         kd_partition:
             KD-tree over edge centres used for size accounting; when
-            ``None`` sizes fall back to raw-bitmap accounting.
+            ``None`` sizes fall back to packed-bitmap accounting.
         """
         self._store = store
         self._kd = kd_partition
-        self._bits: Dict[str, Set[int]] = {}
+        self._matrix = PackedBitMatrix(store.network.num_edges)
         skipped: Set[str] = set()
         staged: Dict[str, Set[int]] = {}
         for edge_id in store.edges_with_objects():
@@ -75,44 +377,87 @@ class SignatureFile:
             ):
                 skipped.add(term)
                 continue
-            self._bits[term] = edges
+            self._matrix.bulk_set(term, edges)
         self._skipped = frozenset(skipped)
-        #: Lifetime counts of AND-semantics tests run and tests that
-        #: pruned their edge; sampled as deltas by the tracing layer's
-        #: per-query ``signature.filter`` summary.
-        self.tests_run = 0
-        self.tests_pruned = 0
+        #: term-set → (version, combined row, bigint view); the INE
+        #: load path probes edge-at-a-time under one frozen term set,
+        #: so the per-call cost must be a dict hit plus one int shift.
+        self._query_memo: Dict[FrozenSet[str], Tuple] = {}
 
     # ------------------------------------------------------------------
     @property
     def num_signed_terms(self) -> int:
-        return len(self._bits)
+        return self._matrix.num_rows
 
     @property
     def skipped_terms(self) -> FrozenSet[str]:
         """Keywords too rare to receive a signature."""
         return self._skipped
 
+    @property
+    def matrix(self) -> PackedBitMatrix:
+        """The packed row storage (exposed for batched callers)."""
+        return self._matrix
+
     def has_signature(self, term: str) -> bool:
-        return term in self._bits
+        return term in self._matrix
 
     def bit(self, edge_id: int, term: str) -> bool:
         """``I(e, t)``; keywords without a signature report ``True``."""
-        edges = self._bits.get(term)
-        if edges is None:
+        if term not in self._matrix:
             return True
-        return edge_id in edges
+        return self._matrix.probe(self._matrix.combined((term,)), edge_id)
+
+    def combined_row(self, terms: Iterable[str]):
+        """AND of the signed query terms' rows, ``None`` = always pass.
+
+        Unsigned (skipped or never-seen) terms are excluded — they
+        conservatively pass, so they cannot tighten the AND.
+        """
+        matrix = self._matrix
+        signed = [t for t in terms if t in matrix]
+        return matrix.combined(signed)
+
+    def _memoised_row(self, terms: Iterable[str]) -> Tuple:
+        """``(combined, bigint)`` for a term set, memoised per version.
+
+        Keyed by the frozen term set so the per-edge ``test`` calls a
+        query issues cost one dict hit; invalidated by the matrix
+        version like the matrix's own combined-row cache.
+        """
+        key = (
+            terms if isinstance(terms, frozenset) else frozenset(terms)
+        )
+        matrix = self._matrix
+        version = matrix.version
+        hit = self._query_memo.get(key)
+        if hit is not None and hit[0] == version:
+            return hit[1], hit[2]
+        combined = self.combined_row(key)
+        bits = matrix.to_bigint(combined)
+        if len(self._query_memo) >= 64:
+            self._query_memo.clear()
+        self._query_memo[key] = (version, combined, bits)
+        return combined, bits
 
     def test(self, edge_id: int, terms: Iterable[str]) -> bool:
         """AND-semantics signature test: ``False`` means *prune the edge*."""
-        self.tests_run += 1
-        passed = all(self.bit(edge_id, t) for t in terms)
-        if not passed:
-            self.tests_pruned += 1
-        return passed
+        _combined, bits = self._memoised_row(terms)
+        if bits is None:
+            return True
+        if edge_id < 0:
+            return False
+        return bool((bits >> edge_id) & 1)
 
-    def edges_of(self, term: str) -> FrozenSet[str]:
-        return frozenset(self._bits.get(term, frozenset()))
+    def test_many(
+        self, edge_ids: Sequence[int], terms: Iterable[str]
+    ) -> List[bool]:
+        """Batched :meth:`test` over many edges with one combined AND."""
+        combined, _bits = self._memoised_row(terms)
+        return self._matrix.probe_many(combined, edge_ids)
+
+    def edges_of(self, term: str) -> FrozenSet[int]:
+        return self._matrix.slots_of(term)
 
     def set_bit(self, edge_id: int, term: str) -> None:
         """Set ``I(e, t) = 1`` (dynamic maintenance).
@@ -122,7 +467,7 @@ class SignatureFile:
         """
         if term in self._skipped:
             return
-        self._bits.setdefault(term, set()).add(edge_id)
+        self._matrix.set(term, edge_id)
 
     def clear_bit(self, edge_id: int, term: str) -> None:
         """Set ``I(e, t) = 0`` after the last ``t``-object left ``e``.
@@ -131,15 +476,14 @@ class SignatureFile:
         — a prematurely cleared bit causes false *misses*, which break
         correctness (a stale 1-bit only costs a wasted probe).  Unsigned
         keywords stay unsigned (they conservatively report ``True``).
+        An emptied row is kept: it means "this term occurs on no edge",
+        which prunes every probe — dropping it would instead make the
+        term report True everywhere.
         """
         if term in self._skipped:
             return
-        edges = self._bits.get(term)
-        if edges is not None:
-            # An emptied set is kept: it means "this term occurs on no
-            # edge", which prunes every probe — dropping the entry would
-            # instead make the term report True everywhere.
-            edges.discard(edge_id)
+        if term in self._matrix:
+            self._matrix.clear(term, edge_id)
 
     # ------------------------------------------------------------------
     # Size accounting
@@ -148,7 +492,9 @@ class SignatureFile:
         """Compacted signature size across all signed keywords."""
         if self._kd is not None:
             return sum(
-                self._kd.compact_size_bytes(edges) for edges in self._bits.values()
+                self._kd.compact_size_bytes(self._matrix.slots_of(term))
+                for term in self._matrix.keys()
             )
-        num_edges = self._store.network.num_edges
-        return len(self._bits) * ((num_edges + 7) // 8)
+        # Raw fallback: the actual packed representation — one
+        # ceil(num_edges / 64)-word uint64 row per signed keyword.
+        return self._matrix.size_bytes()

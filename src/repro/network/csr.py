@@ -82,6 +82,7 @@ class CSRGraph:
         self.object_ids = object_ids
         self.object_edge_ids = object_edge_ids
         self.object_offsets = object_offsets
+        self._traversal_lists: Optional[Tuple] = None
 
     # ------------------------------------------------------------------
     # Construction & validation
@@ -135,6 +136,28 @@ class CSRGraph:
     @property
     def num_entries(self) -> int:
         return len(self.indices)
+
+    def traversal_lists(self) -> Tuple:
+        """Python-list views of the entry arrays, materialised once.
+
+        ``(indptr, indices, weights, edge_ids, indices_node_ids,
+        node_ids)`` as plain lists: scalar indexing into numpy arrays
+        pays per-element boxing that a settle-loop visiting two or
+        three entries per node never amortises, while contiguous
+        Python lists keep the CSR layout (row-ranged entries) at
+        native list-index speed.  The graph is an immutable snapshot,
+        so one conversion serves every query against it.
+        """
+        if self._traversal_lists is None:
+            self._traversal_lists = (
+                self.indptr.tolist(),
+                self.indices.tolist(),
+                self.weights.tolist(),
+                self.edge_ids.tolist(),
+                self.indices_node_ids.tolist(),
+                self.node_ids.tolist(),
+            )
+        return self._traversal_lists
 
     def neighbors(self, node_id: int) -> List[Tuple[int, int, float]]:
         """AdjacencyProvider protocol: ``(edge_id, other, weight)``."""

@@ -20,7 +20,12 @@ and min-reduce the candidate sums per (i, j) cell with one sort +
 
 Labels are stored flat: one ``(hubs, dists)`` array pair per node,
 hubs encoded as CH *ranks* (sorted ascending, so two labels merge by
-``intersect1d`` on pre-sorted unique arrays).  Network positions get a
+``intersect1d`` on pre-sorted unique arrays).  Raw CH search spaces
+over-approximate the minimal label: entries whose upward distance
+exceeds the true distance can never win a join, and
+:meth:`HubLabelBackend._prune_path_covered` removes them at build time
+(``prune_labels=False`` keeps the raw spaces for A/B comparison) —
+smaller labels, faster joins, byte-identical distances.  Network positions get a
 label on the fly by min-merging their edge's two end-node labels with
 the seed offsets folded in — exactly the multi-seed upward search the
 CH runs at query time, evaluated lazily.
@@ -75,6 +80,7 @@ class HubLabelBackend:
         network: RoadNetwork,
         ch: Optional[ContractionHierarchy] = None,
         max_witness_settled: int = 50,
+        prune_labels: bool = True,
     ) -> None:
         self._np = require_numpy("the hub-label distance backend")
         if ch is None:
@@ -84,6 +90,7 @@ class HubLabelBackend:
         self._network = network
         self.ch = ch
         self.num_nodes = ch.num_nodes
+        self.prune_labels = prune_labels
         self._label_cache: Dict[Tuple[int, float], Tuple] = {}
         start = time.perf_counter()
         self._build_labels()
@@ -127,10 +134,74 @@ class HubLabelBackend:
             np.concatenate(dist_chunks)
             if dist_chunks else np.zeros(0, dtype=np.float64)
         )
-        self.label_entries = total
         self.num_labels = n
-        self.max_label_size = max_label
-        self.avg_label_size = total / n if n else 0.0
+        self.label_entries_unpruned = total
+        self.pruned_entries = 0
+        if self.prune_labels and n:
+            self._prune_path_covered()
+        sizes = np.diff(self._indptr)
+        self.label_entries = int(sizes.sum()) if n else 0
+        self.max_label_size = int(sizes.max()) if n else 0
+        self.avg_label_size = self.label_entries / n if n else 0.0
+
+    def _prune_path_covered(self) -> None:
+        """Drop label entries whose upward distance is not the true
+        distance — the *path-cover* prune (Abraham et al., HHL).
+
+        The CH upward search records ``d↑(v, h)``, the cheapest
+        *upward-only* path to ``h``, which can exceed the true
+        ``δ(v, h)`` when the shortest v→h path dips below ``h`` in the
+        hierarchy.  Such an entry can never participate in a tight
+        meeting: for any target ``w``, the sum via ``h`` is
+        ``d↑(v, h) + d↑(w, h) > δ(v, h) + δ(h, w) ≥ δ(v, w)``, while
+        the CH up-down property guarantees some hub ``h*`` meets with
+        *both* sides tight — and tight entries are never dropped here
+        (their join equals the stored value, not less).  So pruning on
+        the **unpruned** labels — entry ``(h, d)`` goes when
+        ``join(L(v), L(h)) < d``, i.e. an already-known hub pair
+        certifies a strictly cheaper v→h path — leaves every query
+        minimum byte-identical, certificates included or not.
+
+        The join always contains the ``(h, h)`` pair at exactly ``d``
+        (hub ``h`` holds itself at 0), so ``joined < d`` is precisely
+        "a different hub certifies cheaper", with float comparisons on
+        the very sums the query kernel would form.
+        """
+        np = self._np
+        indptr = self._indptr
+        hubs = self._hubs
+        dists = self._dists
+        n = self.num_labels
+        keep = np.ones(len(hubs), dtype=bool)
+        for r in range(n):
+            s, e = int(indptr[r]), int(indptr[r + 1])
+            if e - s <= 1:
+                continue  # only the self entry; nothing to cover it
+            ha, da = hubs[s:e], dists[s:e]
+            for k in range(e - s):
+                h = int(ha[k])
+                if h == r:
+                    continue  # self entry (d = 0) is always tight
+                hs, he = int(indptr[h]), int(indptr[h + 1])
+                _c, ia, ib = np.intersect1d(
+                    ha, hubs[hs:he], assume_unique=True,
+                    return_indices=True,
+                )
+                joined = float((da[ia] + dists[hs:he][ib]).min())
+                if joined < float(da[k]):
+                    keep[s + k] = False
+        dropped = int(len(keep) - int(keep.sum()))
+        if not dropped:
+            return
+        self.pruned_entries = dropped
+        # Every row keeps at least its self entry, so indptr[:-1] is
+        # strictly increasing and reduceat sees one segment per node.
+        kept_per_row = np.add.reduceat(keep.astype(np.int64), indptr[:-1])
+        new_indptr = np.zeros(n + 1, dtype=np.int64)
+        new_indptr[1:] = np.cumsum(kept_per_row)
+        self._hubs = hubs[keep]
+        self._dists = dists[keep]
+        self._indptr = new_indptr
 
     # ------------------------------------------------------------------
     # Label access
@@ -411,6 +482,8 @@ class HubLabelBackend:
             "nodes": self.num_nodes,
             "labels": self.num_labels,
             "label_entries": self.label_entries,
+            "label_entries_unpruned": self.label_entries_unpruned,
+            "pruned_entries": self.pruned_entries,
             "avg_label_size": self.avg_label_size,
             "max_label_size": self.max_label_size,
             "build_seconds": self.build_seconds,

@@ -371,6 +371,37 @@ def database_gauges(db) -> Dict[str, float]:
             gauges[f"scoring_mode.{name}"] = (
                 1.0 if scoring == name else 0.0
             )
+    frontier = getattr(db, "frontier_mode", None)
+    if frontier is not None:
+        for name in ("csr", "dict"):
+            gauges[f"frontier_mode.{name}"] = (
+                1.0 if frontier == name else 0.0
+            )
+    indexes = getattr(db, "indexes", None)
+    if indexes:
+        # Packed signature footprint across every index built on this
+        # database (SIF/SIF-G expose a SignatureFile; SIF-P accounts
+        # for its virtual-edge matrix itself).
+        sig_bytes = 0.0
+        signed_terms = 0.0
+        seen_any = False
+        for index in indexes:
+            sig = getattr(index, "signatures", None)
+            if sig is not None:
+                sig_bytes += float(sig.size_bytes())
+                signed_terms += float(sig.num_signed_terms)
+                seen_any = True
+                continue
+            size_fn = getattr(index, "signature_size_bytes", None)
+            if callable(size_fn):
+                sig_bytes += float(size_fn())
+                signed_terms += float(
+                    getattr(index, "num_signed_terms", 0)
+                )
+                seen_any = True
+        if seen_any:
+            gauges["signature.bytes"] = sig_bytes
+            gauges["signature.signed_terms"] = signed_terms
     oracle = getattr(db, "_ch_oracle", None)
     if oracle is not None:
         gauges["ch.preprocess_seconds"] = float(oracle.preprocess_seconds)
@@ -382,6 +413,9 @@ def database_gauges(db) -> Dict[str, float]:
         gauges["hub_label.build_seconds"] = float(hub.build_seconds)
         gauges["hub_label.labels"] = float(hub.num_labels)
         gauges["hub_label.label_entries"] = float(hub.label_entries)
+        gauges["hub_label.pruned_entries"] = float(
+            getattr(hub, "pruned_entries", 0)
+        )
         gauges["hub_label.avg_label_size"] = float(hub.avg_label_size)
         gauges["hub_label.max_label_size"] = float(hub.max_label_size)
     data_version = getattr(db, "data_version", None)

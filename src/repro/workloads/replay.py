@@ -116,6 +116,7 @@ class ReplayConfig:
 
     backend: Optional[str] = None
     scoring: Optional[str] = None
+    frontier: Optional[str] = None
     workers: int = 1
     limit: Optional[int] = None
 
@@ -151,6 +152,7 @@ class ReplayReport:
     journal_path: str = ""
     backend: str = ""
     scoring: str = ""
+    frontier: str = ""
     workers: int = 1
     queries_replayed: int = 0
     updates_applied: Dict[str, int] = field(default_factory=dict)
@@ -182,6 +184,7 @@ class ReplayReport:
             "journal": self.journal_path,
             "backend": self.backend,
             "scoring": self.scoring,
+            "frontier": self.frontier,
             "workers": self.workers,
             "queries": self.queries_replayed,
             "updates": sum(self.updates_applied.values()),
@@ -199,7 +202,7 @@ class ReplayReport:
         lines = [
             f"REPLAY  {self.journal_path}  "
             f"(backend={self.backend}, scoring={self.scoring}, "
-            f"workers={self.workers})",
+            f"frontier={self.frontier}, workers={self.workers})",
             f"  {self.queries_replayed} queries re-executed, "
             f"{updates} updates re-applied ({update_mix}) "
             f"in {self.wall_seconds:.3f}s",
@@ -378,6 +381,7 @@ def run_replay(
         journal_path=journal_path,
         backend=db.distance_backend,
         scoring=db.scoring_mode,
+        frontier=getattr(db, "frontier_mode", "dict"),
         workers=config.workers,
         skipped_lines=journal.skipped,
     )

@@ -63,7 +63,7 @@ class TestTrajectoryWriter:
     def test_default_is_repo_root_artifact(self, monkeypatch):
         monkeypatch.delenv("REPRO_BENCH_TRAJECTORY", raising=False)
         path = default_trajectory_path()
-        assert path.name == "BENCH_PR9.json"
+        assert path.name == "BENCH_PR10.json"
 
     def test_write_merges_into_existing_artifact(self, tmp_path):
         path = tmp_path / "b.json"

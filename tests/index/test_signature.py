@@ -73,8 +73,9 @@ class TestRareKeywordRule:
 class TestSizeAccounting:
     def test_bitmap_fallback_size(self, small_store):
         sig = SignatureFile(small_store)
-        # 4 edges -> 1 byte per term, 4 terms.
-        assert sig.size_bytes() == 4
+        # The raw fallback reports the actual packed representation:
+        # 4 edges -> one 64-bit word per row, 4 signed terms.
+        assert sig.size_bytes() == 4 * 8
 
     def test_kd_compacted_size_smaller_for_dense_terms(self):
         from repro.spatial.kdtree import KDTreePartition

@@ -1,0 +1,85 @@
+"""Property tests: path-cover-pruned hub labels ≡ raw CH search spaces.
+
+Pruning drops label entries whose upward distance exceeds the true
+distance — entries that can never win a join — so every query answer
+(node pairs, position pairs, the batched matrix kernel) must be
+**byte-identical** with and without pruning, while the labels only
+shrink.  Both backends share one CH so the comparison isolates the
+prune itself.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.datasets.synthetic import random_planar_network
+from repro.network.graph import NetworkPosition
+from repro.network.hub_labels import HubLabelBackend
+
+pytest.importorskip("numpy")
+
+
+def build_pair(seed, nodes=40):
+    network = random_planar_network(nodes, seed=seed)
+    pruned = HubLabelBackend(network)
+    raw = HubLabelBackend(network, ch=pruned.ch, prune_labels=False)
+    return network, pruned, raw
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(0, 10**6))
+def test_node_distances_byte_identical(seed):
+    network, pruned, raw = build_pair(seed % 5)
+    rng = np.random.default_rng(seed)
+    nodes = [n.node_id for n in network.nodes()]
+    for _ in range(40):
+        a = nodes[int(rng.integers(0, len(nodes)))]
+        b = nodes[int(rng.integers(0, len(nodes)))]
+        assert pruned.node_distance(a, b) == raw.node_distance(a, b)
+
+
+@settings(max_examples=8, deadline=None)
+@given(st.integers(0, 10**6))
+def test_position_matrix_byte_identical(seed):
+    network, pruned, raw = build_pair(seed % 4)
+    rng = np.random.default_rng(seed + 1)
+    edges = list(network.edges())
+    positions = []
+    for _ in range(12):
+        edge = edges[int(rng.integers(0, len(edges)))]
+        offset = float(rng.uniform(0, edge.weight))
+        positions.append(NetworkPosition(edge.edge_id, offset))
+    got = pruned.position_matrix_array(positions)
+    want = raw.position_matrix_array(positions)
+    assert np.array_equal(got, want)  # bit-for-bit, infs included
+    cutoff = float(rng.uniform(500, 4000))
+    got_c = pruned.position_matrix_array(positions, cutoff=cutoff)
+    want_c = raw.position_matrix_array(positions, cutoff=cutoff)
+    assert np.array_equal(got_c, want_c)
+
+
+def test_pruning_only_shrinks_labels():
+    _network, pruned, raw = build_pair(7, nodes=60)
+    assert pruned.label_entries <= raw.label_entries
+    assert pruned.pruned_entries == raw.label_entries - pruned.label_entries
+    assert pruned.label_entries_unpruned == raw.label_entries
+    assert raw.pruned_entries == 0
+    # Every pruned label is a subset of its raw counterpart.
+    for node in _network.nodes():
+        ph, _pd = pruned._node_label(node.node_id)
+        rh, _rd = raw._node_label(node.node_id)
+        assert set(ph.tolist()) <= set(rh.tolist())
+        # The self hub always survives (it is tight by definition).
+        assert pruned.ch.rank[node.node_id] in set(ph.tolist())
+
+
+def test_stats_report_pruning():
+    _network, pruned, _raw = build_pair(11, nodes=50)
+    stats = pruned.stats()
+    assert stats["pruned_entries"] == pruned.pruned_entries
+    assert stats["label_entries_unpruned"] == pruned.label_entries_unpruned
+    assert (
+        stats["label_entries"] + stats["pruned_entries"]
+        == stats["label_entries_unpruned"]
+    )
